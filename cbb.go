@@ -1,0 +1,372 @@
+// Package cbb is a spatial indexing library built around clipped bounding
+// boxes (CBBs), reproducing Šidlauskas, Chester, Tzirita Zacharatou and
+// Ailamaki, "Improving Spatial Data Processing by Clipping Minimum Bounding
+// Boxes" (ICDE 2018).
+//
+// The library provides four classic R-tree variants (Guttman's quadratic
+// R-tree, the Hilbert R-tree, the R*-tree, and the revised R*-tree) over a
+// simulated paged store with exact I/O accounting, and augments any of them
+// with clipped bounding boxes: per-node clip points that certify rectangular
+// corner regions as dead space so range queries, updates, and spatial joins
+// can skip nodes whose overlap with the probe is entirely empty.
+//
+// # Quick start
+//
+//	tree, err := cbb.New(cbb.Options{Dims: 2, Variant: cbb.RStarTree})
+//	if err != nil { ... }
+//	tree.Insert(cbb.R(0, 0, 10, 5), 1)
+//	tree.Insert(cbb.R(20, 20, 24, 28), 2)
+//	tree.Search(cbb.R(1, 1, 3, 3), func(id cbb.ObjectID, r cbb.Rect) bool {
+//	    fmt.Println(id, r)
+//	    return true
+//	})
+//
+// Clipping is on by default (stairline clip points, the paper's CSTA); use
+// Options.Clipping to select skyline clipping or to disable clipping
+// entirely, e.g. to measure the I/O difference via Tree.IOStats.
+package cbb
+
+import (
+	"errors"
+	"fmt"
+
+	"cbb/internal/clipindex"
+	"cbb/internal/core"
+	"cbb/internal/geom"
+	"cbb/internal/rtree"
+	"cbb/internal/storage"
+)
+
+// Point is a d-dimensional point (a slice of coordinates).
+type Point = geom.Point
+
+// Rect is an axis-aligned d-dimensional rectangle with inclusive bounds.
+type Rect = geom.Rect
+
+// Pt builds a Point from coordinates.
+func Pt(coords ...float64) Point { return geom.Pt(coords...) }
+
+// R builds a Rect from 2·d coordinates: R(x1, y1, x2, y2) in 2d,
+// R(x1, y1, z1, x2, y2, z2) in 3d. It panics on invalid input; use NewRect
+// for checked construction.
+func R(coords ...float64) Rect { return geom.R(coords...) }
+
+// NewRect builds a Rect from its minimum and maximum corner, validating the
+// input.
+func NewRect(lo, hi Point) (Rect, error) { return geom.NewRect(lo, hi) }
+
+// ObjectID identifies an object stored in the index.
+type ObjectID = rtree.ObjectID
+
+// Item pairs an object id with its rectangle, used for bulk loading and as
+// the probe input of joins.
+type Item = rtree.Item
+
+// Variant selects the R-tree construction strategy.
+type Variant = rtree.Variant
+
+// The four R-tree variants evaluated in the paper.
+const (
+	// QRTree is Guttman's original R-tree with the quadratic split.
+	QRTree = rtree.Quadratic
+	// HRTree is the Hilbert R-tree (bulk loaded along the Hilbert curve).
+	HRTree = rtree.Hilbert
+	// RStarTree is the R*-tree of Beckmann et al.
+	RStarTree = rtree.RStar
+	// RRStarTree is the revised R*-tree (the paper's strongest baseline).
+	RRStarTree = rtree.RRStar
+)
+
+// ClipMethod selects how clip points are generated.
+type ClipMethod int
+
+// Clipping configurations.
+const (
+	// ClipStairline uses point-spliced (stairline) clip points — the paper's
+	// CSTA, its most effective configuration and the library default.
+	ClipStairline ClipMethod = iota
+	// ClipSkyline uses object-situated (skyline) clip points — the paper's
+	// CSKY, cheaper to build with a smaller footprint but less pruning.
+	ClipSkyline
+	// ClipNone disables clipping; the tree behaves as a plain R-tree.
+	ClipNone
+)
+
+// String names the clipping configuration.
+func (m ClipMethod) String() string {
+	switch m {
+	case ClipStairline:
+		return "CSTA"
+	case ClipSkyline:
+		return "CSKY"
+	case ClipNone:
+		return "none"
+	default:
+		return fmt.Sprintf("ClipMethod(%d)", int(m))
+	}
+}
+
+// Options configures a Tree.
+type Options struct {
+	// Dims is the dimensionality of indexed rectangles (required; 2 or 3 are
+	// the extensively tested paths).
+	Dims int
+	// Variant selects the R-tree variant (default RRStarTree).
+	Variant Variant
+	// Clipping selects the clip-point method (default ClipStairline).
+	Clipping ClipMethod
+	// MaxEntries is the node capacity M; 0 derives it from a 4 KiB page.
+	MaxEntries int
+	// MinEntries is the minimum fill m; 0 uses 40 % of MaxEntries.
+	MinEntries int
+	// MaxClipPoints is the paper's k, the maximum clip points kept per node;
+	// 0 uses 2^(Dims+1).
+	MaxClipPoints int
+	// ClipThreshold is the paper's τ: a clip point is kept only if it prunes
+	// at least this fraction of the node volume; 0 uses 2.5 %.
+	ClipThreshold float64
+	// Universe optionally bounds the data space (used by the Hilbert
+	// variant); the zero Rect means "unknown".
+	Universe Rect
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Dims < 1 {
+		return o, errors.New("cbb: Options.Dims must be at least 1")
+	}
+	if o.MaxEntries == 0 {
+		o.MaxEntries = rtree.MaxEntriesForPage(storage.DefaultPageSize, o.Dims)
+	}
+	if o.MinEntries == 0 {
+		o.MinEntries = o.MaxEntries * 2 / 5
+		if o.MinEntries < 1 {
+			o.MinEntries = 1
+		}
+	}
+	if o.MaxClipPoints == 0 {
+		o.MaxClipPoints = 1 << uint(o.Dims+1)
+	}
+	if o.ClipThreshold == 0 {
+		o.ClipThreshold = 0.025
+	}
+	switch o.Clipping {
+	case ClipStairline, ClipSkyline, ClipNone:
+	default:
+		return o, fmt.Errorf("cbb: unknown clipping method %d", int(o.Clipping))
+	}
+	return o, nil
+}
+
+func (o Options) clipParams() core.Params {
+	method := core.MethodStairline
+	if o.Clipping == ClipSkyline {
+		method = core.MethodSkyline
+	}
+	return core.Params{K: o.MaxClipPoints, Tau: o.ClipThreshold, Method: method}
+}
+
+// Tree is a spatial index: an R-tree of the configured variant, optionally
+// augmented with clipped bounding boxes. It is not safe for concurrent
+// mutation; concurrent read-only searches are safe once construction and
+// updates have finished.
+type Tree struct {
+	opts Options
+	tree *rtree.Tree
+	idx  *clipindex.Index // nil when clipping is disabled
+}
+
+// New creates an empty tree.
+func New(opts Options) (*Tree, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	cfg := rtree.Config{
+		Dims:       opts.Dims,
+		MaxEntries: opts.MaxEntries,
+		MinEntries: opts.MinEntries,
+		Variant:    opts.Variant,
+		Universe:   opts.Universe,
+	}
+	base, err := rtree.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{opts: opts, tree: base}
+	if opts.Clipping != ClipNone {
+		idx, err := clipindex.New(base, opts.clipParams())
+		if err != nil {
+			return nil, err
+		}
+		t.idx = idx
+	}
+	return t, nil
+}
+
+// Options returns the effective configuration of the tree.
+func (t *Tree) Options() Options { return t.opts }
+
+// Len returns the number of indexed objects.
+func (t *Tree) Len() int { return t.tree.Len() }
+
+// Height returns the number of tree levels (0 when empty).
+func (t *Tree) Height() int { return t.tree.Height() }
+
+// Bounds returns the MBB of all indexed objects (the zero Rect when empty).
+func (t *Tree) Bounds() Rect { return t.tree.Bounds() }
+
+// Insert adds an object with the given rectangle and id. Duplicate ids are
+// permitted but make Delete ambiguous; most applications use unique ids.
+func (t *Tree) Insert(r Rect, id ObjectID) error {
+	if t.idx != nil {
+		_, err := t.idx.Insert(r, id)
+		return err
+	}
+	_, err := t.tree.Insert(r, id)
+	return err
+}
+
+// Delete removes the object with the exact rectangle and id. It reports
+// whether the object was found.
+func (t *Tree) Delete(r Rect, id ObjectID) (bool, error) {
+	if t.idx != nil {
+		return t.idx.Delete(r, id)
+	}
+	trace, err := t.tree.Delete(r, id)
+	if err != nil {
+		return false, err
+	}
+	return trace.Found, nil
+}
+
+// BulkLoad builds the tree from scratch out of the given items using the
+// variant's bulk-loading strategy (Hilbert packing for HRTree,
+// Sort-Tile-Recursive for the others) and then computes clip points for
+// every node. The tree must be empty.
+func (t *Tree) BulkLoad(items []Item) error {
+	if err := t.tree.BulkLoad(items); err != nil {
+		return err
+	}
+	if t.idx != nil {
+		t.idx.RebuildAll()
+	}
+	return nil
+}
+
+// Search calls visit for every object whose rectangle intersects q;
+// traversal stops early when visit returns false. With clipping enabled,
+// child nodes whose overlap with q is entirely certified dead space are
+// skipped; the result set is always identical to an unclipped search.
+func (t *Tree) Search(q Rect, visit func(ObjectID, Rect) bool) {
+	if t.idx != nil {
+		t.idx.Search(q, visit)
+		return
+	}
+	t.tree.Search(q, visit)
+}
+
+// SearchAll returns every object intersecting q as a slice of items.
+func (t *Tree) SearchAll(q Rect) []Item {
+	var out []Item
+	t.Search(q, func(id ObjectID, r Rect) bool {
+		out = append(out, Item{Object: id, Rect: r})
+		return true
+	})
+	return out
+}
+
+// Count returns the number of objects intersecting q.
+func (t *Tree) Count(q Rect) int {
+	n := 0
+	t.Search(q, func(ObjectID, Rect) bool { n++; return true })
+	return n
+}
+
+// Neighbor is one result of a nearest-neighbour query.
+type Neighbor struct {
+	Object ObjectID
+	Rect   Rect
+	DistSq float64
+}
+
+// NearestNeighbors returns the k objects closest to the point p (by minimum
+// Euclidean distance to their rectangles), ordered by ascending distance.
+// Nearest-neighbour search is an extension beyond the paper's evaluation; it
+// traverses the plain R-tree best-first and works identically whether or not
+// clipping is enabled.
+func (t *Tree) NearestNeighbors(k int, p Point) []Neighbor {
+	raw := t.tree.NearestNeighbors(k, p)
+	out := make([]Neighbor, len(raw))
+	for i, n := range raw {
+		out[i] = Neighbor{Object: n.Object, Rect: n.Rect, DistSq: n.DistSq}
+	}
+	return out
+}
+
+// IOStats is a snapshot of the simulated I/O counters: the number of leaf
+// and directory node accesses performed by searches and joins, the number of
+// node writes performed by updates, and the number of clip-table
+// recomputations.
+type IOStats struct {
+	LeafReads int64
+	DirReads  int64
+	Writes    int64
+	Reclips   int64
+}
+
+// IOStats returns the accumulated I/O counters.
+func (t *Tree) IOStats() IOStats {
+	s := t.tree.Counter().Snapshot()
+	return IOStats{LeafReads: s.LeafReads, DirReads: s.DirReads, Writes: s.Writes, Reclips: s.Reclips}
+}
+
+// ResetIOStats zeroes the I/O counters (typically called before a measured
+// query batch).
+func (t *Tree) ResetIOStats() { t.tree.Counter().Reset() }
+
+// Stats summarises the structure of the index.
+type Stats struct {
+	Objects        int
+	Height         int
+	LeafNodes      int
+	DirNodes       int
+	ClipPoints     int
+	AvgClipPoints  float64
+	ClipTableBytes int
+}
+
+// Stats returns structural statistics of the tree and its clip table.
+func (t *Tree) Stats() Stats {
+	ts := t.tree.Stats()
+	out := Stats{
+		Objects:   ts.Objects,
+		Height:    ts.Height,
+		LeafNodes: ts.LeafNodes,
+		DirNodes:  ts.DirNodes,
+	}
+	if t.idx != nil {
+		out.ClipPoints = t.idx.Table().ClipPointCount()
+		out.AvgClipPoints = t.idx.Table().AvgClipPointsPerNode()
+		out.ClipTableBytes = t.idx.AuxBytes()
+	}
+	return out
+}
+
+// Validate checks the structural invariants of the tree and, when clipping
+// is enabled, the soundness of every stored clip point. It is intended for
+// tests and debugging; it is not cheap.
+func (t *Tree) Validate() error {
+	if err := t.tree.Validate(); err != nil {
+		return err
+	}
+	if t.idx != nil {
+		return t.idx.Validate()
+	}
+	return nil
+}
+
+// internalTree exposes the underlying R-tree to sibling files in this
+// package (joins); it is not part of the public API.
+func (t *Tree) internalTree() *rtree.Tree { return t.tree }
+
+func (t *Tree) internalIndex() *clipindex.Index { return t.idx }

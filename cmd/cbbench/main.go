@@ -1,0 +1,215 @@
+// Command cbbench reproduces the paper's evaluation: it runs any (or all) of
+// the experiments behind the tables and figures of Šidlauskas et al.,
+// "Improving Spatial Data Processing by Clipping Minimum Bounding Boxes"
+// (ICDE 2018), on the synthetic stand-in datasets, and prints the results as
+// text tables.
+//
+// Usage:
+//
+//	cbbench -exp all                 # run everything at the default scale
+//	cbbench -exp fig11 -scale 50000  # range-query I/O at a larger scale
+//	cbbench -exp table1 -datasets rea02,axo03 -variants "R*-tree,RR*-tree"
+//
+// Experiments: fig01, fig08, fig09, fig10, fig11, table1, fig12, fig13,
+// fig14, join, fig15, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cbb/internal/datasets"
+	"cbb/internal/experiments"
+	"cbb/internal/rtree"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run (fig01,fig08,fig09,fig10,fig11,table1,fig12,fig13,fig14,join,fig15,all)")
+		scale    = flag.Int("scale", 20000, "objects per dataset")
+		queries  = flag.Int("queries", 200, "queries per selectivity profile")
+		seed     = flag.Int64("seed", 42, "random seed")
+		samples  = flag.Int("samples", 256, "Monte-Carlo samples per node for dead-space estimation")
+		dsFlag   = flag.String("datasets", "", "comma-separated dataset subset (default: all seven)")
+		varFlag  = flag.String("variants", "", "comma-separated variant subset (QR-tree,HR-tree,R*-tree,RR*-tree)")
+		tau      = flag.Float64("tau", 0.025, "clip-point volume threshold τ")
+		listOnly = flag.Bool("list", false, "list datasets and experiments, then exit")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		fmt.Println("datasets:")
+		for _, s := range datasets.Specs {
+			fmt.Printf("  %-6s %dd  default %d objects  (%s)\n", s.Name, s.Dims, s.DefaultSize, s.Description)
+		}
+		fmt.Println("experiments: fig01 fig08 fig09 fig10 fig11 table1 fig12 fig13 fig14 join fig15 all")
+		return
+	}
+
+	cfg := experiments.Config{
+		Scale:          *scale,
+		Queries:        *queries,
+		Seed:           *seed,
+		SamplesPerNode: *samples,
+		Tau:            *tau,
+	}
+	if *dsFlag != "" {
+		cfg.Datasets = splitList(*dsFlag)
+	}
+	if *varFlag != "" {
+		variants, err := parseVariants(splitList(*varFlag))
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Variants = variants
+	}
+
+	runner := newRunner(cfg)
+	which := strings.ToLower(strings.TrimSpace(*exp))
+	names := []string{which}
+	if which == "all" {
+		names = []string{"fig01", "fig08", "fig09", "fig10", "fig11", "table1", "fig12", "fig13", "fig14", "join", "fig15"}
+	}
+	for _, name := range names {
+		if err := runner.run(name); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+type runner struct {
+	cfg   experiments.Config
+	fig11 *experiments.Fig11Result // cached for table1
+}
+
+func newRunner(cfg experiments.Config) *runner { return &runner{cfg: cfg} }
+
+func (r *runner) run(name string) error {
+	start := time.Now()
+	var tables []*experiments.Table
+	switch name {
+	case "fig01":
+		res, err := experiments.RunFig01(r.cfg)
+		if err != nil {
+			return err
+		}
+		tables = res.Tables()
+	case "fig08":
+		res, err := experiments.RunFig08(r.cfg)
+		if err != nil {
+			return err
+		}
+		tables = []*experiments.Table{res.Table()}
+	case "fig09":
+		res, err := experiments.RunFig09(r.cfg)
+		if err != nil {
+			return err
+		}
+		tables = []*experiments.Table{res.Table()}
+	case "fig10":
+		res, err := experiments.RunFig10(r.cfg)
+		if err != nil {
+			return err
+		}
+		tables = []*experiments.Table{res.Table()}
+	case "fig11":
+		res, err := r.ensureFig11()
+		if err != nil {
+			return err
+		}
+		tables = []*experiments.Table{res.Table()}
+	case "table1":
+		res, err := r.ensureFig11()
+		if err != nil {
+			return err
+		}
+		tables = []*experiments.Table{experiments.AggregateTable1(res).Table()}
+	case "fig12":
+		res, err := experiments.RunFig12(r.cfg)
+		if err != nil {
+			return err
+		}
+		tables = []*experiments.Table{res.Table()}
+	case "fig13":
+		res, err := experiments.RunFig13(r.cfg)
+		if err != nil {
+			return err
+		}
+		tables = []*experiments.Table{res.Table()}
+	case "fig14":
+		res, err := experiments.RunFig14(r.cfg)
+		if err != nil {
+			return err
+		}
+		tables = []*experiments.Table{res.Table()}
+	case "join":
+		res, err := experiments.RunJoin(r.cfg)
+		if err != nil {
+			return err
+		}
+		tables = []*experiments.Table{res.Table()}
+	case "fig15":
+		res, err := experiments.RunFig15(r.cfg)
+		if err != nil {
+			return err
+		}
+		tables = []*experiments.Table{res.Table()}
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	for _, t := range tables {
+		fmt.Println(t.String())
+	}
+	fmt.Printf("[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func (r *runner) ensureFig11() (*experiments.Fig11Result, error) {
+	if r.fig11 != nil {
+		return r.fig11, nil
+	}
+	res, err := experiments.RunFig11(r.cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.fig11 = res
+	return res, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseVariants(names []string) ([]rtree.Variant, error) {
+	var out []rtree.Variant
+	for _, n := range names {
+		switch strings.ToLower(n) {
+		case "qr-tree", "qr", "quadratic":
+			out = append(out, rtree.Quadratic)
+		case "hr-tree", "hr", "hilbert":
+			out = append(out, rtree.Hilbert)
+		case "r*-tree", "r*", "rstar":
+			out = append(out, rtree.RStar)
+		case "rr*-tree", "rr*", "rrstar":
+			out = append(out, rtree.RRStar)
+		default:
+			return nil, fmt.Errorf("unknown variant %q", n)
+		}
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cbbench:", err)
+	os.Exit(1)
+}

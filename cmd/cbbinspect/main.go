@@ -1,0 +1,132 @@
+// Command cbbinspect builds a (clipped) R-tree over one of the synthetic
+// datasets and prints its structural statistics: height, node counts,
+// occupancy, dead space, clip-point counts and storage breakdown. It also
+// verifies the structural invariants of the tree and the soundness of every
+// clip point, making it a quick health check for the index implementation.
+//
+// Usage:
+//
+//	cbbinspect -dataset axo03 -n 50000 -variant RR*-tree -clip CSTA
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cbb/internal/clipindex"
+	"cbb/internal/core"
+	"cbb/internal/experiments"
+	"cbb/internal/metrics"
+	"cbb/internal/rtree"
+	"cbb/internal/storage"
+)
+
+func main() {
+	var (
+		name    = flag.String("dataset", "rea02", "dataset to index")
+		n       = flag.Int("n", 20000, "number of objects")
+		seed    = flag.Int64("seed", 42, "random seed")
+		variant = flag.String("variant", "RR*-tree", "R-tree variant (QR-tree, HR-tree, R*-tree, RR*-tree)")
+		clip    = flag.String("clip", "CSTA", "clipping method (CSKY, CSTA, none)")
+		k       = flag.Int("k", 0, "max clip points per node (0 = 2^(d+1))")
+		tau     = flag.Float64("tau", 0.025, "clip-point volume threshold")
+		samples = flag.Int("samples", 256, "Monte-Carlo samples per node")
+	)
+	flag.Parse()
+
+	v, err := parseVariant(*variant)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := experiments.Config{Scale: *n, Seed: *seed, SamplesPerNode: *samples, Tau: *tau}
+	ds, err := cfg.WithDefaults().LoadDataset(*name)
+	if err != nil {
+		fatal(err)
+	}
+	tree, buildTime, err := experiments.BuildTree(ds, v)
+	if err != nil {
+		fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		fatal(fmt.Errorf("tree invariants violated: %w", err))
+	}
+	stats := tree.Stats()
+	fmt.Printf("dataset    : %s (%d objects, %dd)\n", *name, len(ds.Items), ds.Spec.Dims)
+	fmt.Printf("variant    : %s (built in %s)\n", v, buildTime.Round(1e6))
+	fmt.Printf("height     : %d\n", stats.Height)
+	fmt.Printf("nodes      : %d directory, %d leaf\n", stats.DirNodes, stats.LeafNodes)
+	fmt.Printf("occupancy  : %.1f%% leaf, %.1f%% directory\n", 100*stats.AvgLeafOcc, 100*stats.AvgDirOcc)
+
+	node := metrics.TreeNodeStats(tree, *samples, *seed)
+	fmt.Printf("overlap    : %.1f%% of node volume covered by 2+ children\n", 100*node.AvgOverlap)
+	fmt.Printf("dead space : %.1f%% of node volume (%.1f%% at leaves)\n", 100*node.AvgDeadSpace, 100*node.AvgLeafDeadSpace)
+
+	method, enabled := parseClip(*clip)
+	if !enabled {
+		fmt.Println("clipping   : disabled")
+		return
+	}
+	kk := *k
+	if kk == 0 {
+		kk = 1 << uint(ds.Spec.Dims+1)
+	}
+	idx, err := clipindex.New(tree, core.Params{K: kk, Tau: *tau, Method: method})
+	if err != nil {
+		fatal(err)
+	}
+	if err := idx.Validate(); err != nil {
+		fatal(fmt.Errorf("clip table invalid: %w", err))
+	}
+	cs := metrics.ClippedDeadSpace(idx, *samples, *seed)
+	fmt.Printf("clipping   : %s, k=%d, tau=%.3f\n", method, kk, *tau)
+	fmt.Printf("clip points: %d total, %.1f per clipped node, %d bytes\n",
+		idx.Table().ClipPointCount(), idx.Table().AvgClipPointsPerNode(), idx.AuxBytes())
+	fmt.Printf("clipped    : %.1f%% of node volume (%.1f%% of the dead space)\n",
+		100*cs.AvgClipped, 100*cs.ClippedShareOfDead)
+
+	pager := storage.NewPager(storage.DefaultPageSize)
+	if _, _, err := tree.Save(pager); err != nil {
+		fatal(err)
+	}
+	if _, err := idx.SaveAux(pager); err != nil {
+		fatal(err)
+	}
+	u := pager.Usage()
+	fmt.Printf("storage    : %d dir B, %d leaf B, %d clip B (%.2f%% overhead)\n",
+		u.Bytes[storage.KindDirectory], u.Bytes[storage.KindLeaf], u.Bytes[storage.KindAux],
+		100*float64(u.Bytes[storage.KindAux])/float64(u.TotalBytes))
+	fmt.Println("status     : all invariants hold")
+}
+
+func parseVariant(s string) (rtree.Variant, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "qr-tree", "qr", "quadratic":
+		return rtree.Quadratic, nil
+	case "hr-tree", "hr", "hilbert":
+		return rtree.Hilbert, nil
+	case "r*-tree", "r*", "rstar":
+		return rtree.RStar, nil
+	case "rr*-tree", "rr*", "rrstar":
+		return rtree.RRStar, nil
+	default:
+		return 0, fmt.Errorf("unknown variant %q", s)
+	}
+}
+
+func parseClip(s string) (core.Method, bool) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "CSKY", "SKYLINE", "SKY":
+		return core.MethodSkyline, true
+	case "CSTA", "STAIRLINE", "STA":
+		return core.MethodStairline, true
+	default:
+		return 0, false
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cbbinspect:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+package cbb_test
+
+import (
+	"fmt"
+	"sort"
+
+	"cbb"
+)
+
+// ExampleNew shows the minimal insert-and-query flow with a clipped
+// RR*-tree.
+func ExampleNew() {
+	tree, err := cbb.New(cbb.Options{Dims: 2, Variant: cbb.RRStarTree})
+	if err != nil {
+		panic(err)
+	}
+	_ = tree.Insert(cbb.R(0, 0, 10, 5), 1)
+	_ = tree.Insert(cbb.R(20, 20, 24, 28), 2)
+	_ = tree.Insert(cbb.R(8, 3, 12, 9), 3)
+
+	var hits []int
+	tree.Search(cbb.R(9, 4, 11, 6), func(id cbb.ObjectID, _ cbb.Rect) bool {
+		hits = append(hits, int(id))
+		return true
+	})
+	sort.Ints(hits)
+	fmt.Println(hits)
+	// Output: [1 3]
+}
+
+// ExampleTree_BulkLoad shows bulk loading and counting.
+func ExampleTree_BulkLoad() {
+	tree, err := cbb.New(cbb.Options{Dims: 2, Variant: cbb.HRTree})
+	if err != nil {
+		panic(err)
+	}
+	items := []cbb.Item{
+		{Object: 1, Rect: cbb.R(0, 0, 1, 1)},
+		{Object: 2, Rect: cbb.R(5, 5, 6, 6)},
+		{Object: 3, Rect: cbb.R(0.5, 0.5, 2, 2)},
+	}
+	if err := tree.BulkLoad(items); err != nil {
+		panic(err)
+	}
+	fmt.Println(tree.Len(), tree.Count(cbb.R(0, 0, 3, 3)))
+	// Output: 3 2
+}
+
+// ExampleTree_NearestNeighbors shows the nearest-neighbour extension.
+func ExampleTree_NearestNeighbors() {
+	tree, err := cbb.New(cbb.Options{Dims: 2})
+	if err != nil {
+		panic(err)
+	}
+	_ = tree.Insert(cbb.R(0, 0, 1, 1), 1)
+	_ = tree.Insert(cbb.R(10, 10, 11, 11), 2)
+	_ = tree.Insert(cbb.R(3, 3, 4, 4), 3)
+
+	for _, n := range tree.NearestNeighbors(2, cbb.Pt(2, 2)) {
+		fmt.Println(n.Object)
+	}
+	// Output:
+	// 1
+	// 3
+}
+
+// ExampleSynchronizedTreeTraversalJoin shows a spatial join between two
+// indexed datasets.
+func ExampleSynchronizedTreeTraversalJoin() {
+	build := func(items []cbb.Item) *cbb.Tree {
+		t, err := cbb.New(cbb.Options{Dims: 2})
+		if err != nil {
+			panic(err)
+		}
+		if err := t.BulkLoad(items); err != nil {
+			panic(err)
+		}
+		return t
+	}
+	parcels := build([]cbb.Item{
+		{Object: 1, Rect: cbb.R(0, 0, 10, 10)},
+		{Object: 2, Rect: cbb.R(20, 20, 30, 30)},
+	})
+	buildings := build([]cbb.Item{
+		{Object: 7, Rect: cbb.R(4, 4, 6, 6)},
+		{Object: 8, Rect: cbb.R(50, 50, 51, 51)},
+	})
+	res, err := cbb.SynchronizedTreeTraversalJoin(parcels, buildings, func(p cbb.JoinPair) {
+		fmt.Printf("parcel %d overlaps building %d\n", p.Left, p.Right)
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("pairs:", res.Pairs)
+	// Output:
+	// parcel 1 overlaps building 7
+	// pairs: 1
+}

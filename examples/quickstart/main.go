@@ -1,0 +1,81 @@
+// Quickstart: build a clipped R-tree, run a few range queries, and compare
+// the leaf I/O of clipped and unclipped searches on the same data.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cbb"
+)
+
+func main() {
+	// A clipped revised R*-tree over 2d rectangles. Clipping (stairline clip
+	// points, the paper's CSTA) is the default; everything else about the
+	// tree behaves exactly like a classic R-tree.
+	tree, err := cbb.New(cbb.Options{Dims: 2, Variant: cbb.RRStarTree})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Index a synthetic "road network": thin horizontal and vertical
+	// segments, which leave a lot of empty space in every node — exactly the
+	// situation clipped bounding boxes exploit.
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		x, y := rng.Float64()*10000, rng.Float64()*10000
+		var r cbb.Rect
+		if i%2 == 0 {
+			r = cbb.R(x, y, x+rng.Float64()*80, y+1.5) // horizontal street
+		} else {
+			r = cbb.R(x, y, x+1.5, y+rng.Float64()*80) // vertical street
+		}
+		if err := tree.Insert(r, cbb.ObjectID(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	stats := tree.Stats()
+	fmt.Printf("indexed %d segments: height %d, %d leaves, %d clip points (%.1f per node)\n",
+		tree.Len(), stats.Height, stats.LeafNodes, stats.ClipPoints, stats.AvgClipPoints)
+
+	// A point-ish range query: which segments pass near (5000, 5000)?
+	query := cbb.R(4950, 4950, 5050, 5050)
+	for _, hit := range tree.SearchAll(query) {
+		fmt.Printf("  segment %d at %v\n", hit.Object, hit.Rect)
+	}
+	fmt.Printf("%d segments intersect %v\n", tree.Count(query), query)
+
+	// Compare the I/O of the clipped index against an unclipped twin on the
+	// same query workload.
+	plain, err := cbb.New(cbb.Options{Dims: 2, Variant: cbb.RRStarTree, Clipping: cbb.ClipNone})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, it := range tree.SearchAll(cbb.R(0, 0, 10000, 10000)) {
+		if err := plain.Insert(it.Rect, it.Object); err != nil {
+			log.Fatal(err)
+		}
+	}
+	queries := make([]cbb.Rect, 500)
+	for i := range queries {
+		x, y := rng.Float64()*10000, rng.Float64()*10000
+		queries[i] = cbb.R(x, y, x+20, y+20)
+	}
+	tree.ResetIOStats()
+	plain.ResetIOStats()
+	for _, q := range queries {
+		tree.Count(q)
+		plain.Count(q)
+	}
+	clipped := tree.IOStats().LeafReads
+	unclipped := plain.IOStats().LeafReads
+	fmt.Printf("leaf accesses over %d queries: unclipped %d, clipped %d (%.1f%% saved)\n",
+		len(queries), unclipped, clipped, 100*(1-float64(clipped)/float64(unclipped)))
+}

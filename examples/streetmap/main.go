@@ -1,0 +1,112 @@
+// Street map: index a city-like street network (thin, mostly axis-aligned
+// segments clustered into districts) and compare the query I/O of the four
+// R-tree variants with and without clipped bounding boxes — a miniature of
+// the paper's Figure 11 that runs in a couple of seconds.
+//
+// Run with:
+//
+//	go run ./examples/streetmap
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"cbb"
+)
+
+// buildCity generates a clustered street network of n segments.
+func buildCity(rng *rand.Rand, n int) []cbb.Item {
+	type district struct{ cx, cy, radius, angle float64 }
+	districts := make([]district, 10)
+	for i := range districts {
+		districts[i] = district{
+			cx:     rng.Float64() * 8000,
+			cy:     rng.Float64() * 8000,
+			radius: 300 + rng.Float64()*700,
+			angle:  rng.Float64() * math.Pi / 2,
+		}
+	}
+	items := make([]cbb.Item, 0, n)
+	for len(items) < n {
+		d := districts[rng.Intn(len(districts))]
+		x := d.cx + rng.NormFloat64()*d.radius/2
+		y := d.cy + rng.NormFloat64()*d.radius/2
+		theta := d.angle
+		if rng.Intn(2) == 0 {
+			theta += math.Pi / 2
+		}
+		length := 20 + rng.Float64()*60
+		dx, dy := math.Cos(theta)*length/2, math.Sin(theta)*length/2
+		lo := cbb.Pt(math.Min(x-dx, x+dx), math.Min(y-dy, y+dy))
+		hi := cbb.Pt(math.Max(x-dx, x+dx), math.Max(y-dy, y+dy))
+		r, err := cbb.NewRect(lo, hi)
+		if err != nil {
+			continue
+		}
+		items = append(items, cbb.Item{Object: cbb.ObjectID(len(items)), Rect: r})
+	}
+	return items
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	streets := buildCity(rng, 12000)
+	fmt.Printf("street network: %d segments\n", len(streets))
+
+	// A shared workload of small range queries ("what is near this
+	// address?") centred on random street midpoints.
+	queries := make([]cbb.Rect, 300)
+	for i := range queries {
+		seg := streets[rng.Intn(len(streets))].Rect
+		c := seg.Center()
+		queries[i] = cbb.R(c[0]-15, c[1]-15, c[0]+15, c[1]+15)
+	}
+
+	variants := []struct {
+		name string
+		v    cbb.Variant
+	}{
+		{"QR-tree", cbb.QRTree},
+		{"HR-tree", cbb.HRTree},
+		{"R*-tree", cbb.RStarTree},
+		{"RR*-tree", cbb.RRStarTree},
+	}
+	fmt.Printf("%-10s %12s %12s %12s %10s\n", "variant", "unclipped IO", "CSKY IO", "CSTA IO", "CSTA gain")
+	for _, v := range variants {
+		unclipped := measure(streets, queries, v.v, cbb.ClipNone)
+		sky := measure(streets, queries, v.v, cbb.ClipSkyline)
+		sta := measure(streets, queries, v.v, cbb.ClipStairline)
+		fmt.Printf("%-10s %12d %12d %12d %9.1f%%\n",
+			v.name, unclipped, sky, sta, 100*(1-float64(sta)/float64(unclipped)))
+	}
+}
+
+// measure bulk-loads a tree of the given variant and clipping mode and
+// returns the leaf accesses needed to answer the query workload.
+func measure(items []cbb.Item, queries []cbb.Rect, v cbb.Variant, clip cbb.ClipMethod) int64 {
+	tree, err := cbb.New(cbb.Options{Dims: 2, Variant: v, Clipping: clip})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if v == cbb.HRTree {
+		if err := tree.BulkLoad(items); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		for _, it := range items {
+			if err := tree.Insert(it.Rect, it.Object); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	tree.ResetIOStats()
+	results := 0
+	for _, q := range queries {
+		results += tree.Count(q)
+	}
+	_ = results
+	return tree.IOStats().LeafReads
+}

@@ -1,0 +1,489 @@
+// Package bounding implements the alternative bounding geometries the paper
+// compares clipped bounding boxes against in Figures 8 and 9: the minimum
+// bounding box (MBB), minimum bounding circle (MBC, Welzl's algorithm), the
+// rotated minimum bounding box (RMBB), m-corner convex polygons (4-C, 5-C),
+// the convex hull (CH), and the two CBB variants, together with a
+// Monte-Carlo dead-space estimator that works uniformly across all of them.
+//
+// The polygonal shapes are two-dimensional, as in the paper ("we restrict to
+// 2d datasets, as we know of no way to calculate minimum bounding m-corner
+// polytopes in higher dimensions"); MBB, MBC and CBB generalise to any
+// dimensionality.
+package bounding
+
+import (
+	"fmt"
+	"math"
+
+	"cbb/internal/core"
+	"cbb/internal/geom"
+)
+
+// Shape is a bounding geometry: it must report its area (volume), whether a
+// point lies inside it, and its representation cost in points (the x-axis of
+// Figure 9b).
+type Shape interface {
+	// Name returns the figure label of the shape ("MBB", "CH", ...).
+	Name() string
+	// Area returns the area (2d) or volume (3d) covered by the shape.
+	Area() float64
+	// Contains reports whether the point lies inside the shape.
+	Contains(p geom.Point) bool
+	// PointCount returns the number of points needed to represent the shape.
+	PointCount() int
+}
+
+// --- MBB ---------------------------------------------------------------------
+
+// MBBShape is the plain minimum bounding box.
+type MBBShape struct{ Rect geom.Rect }
+
+// NewMBB builds the MBB of the given objects.
+func NewMBB(objects []geom.Rect) MBBShape { return MBBShape{Rect: geom.MBROf(objects)} }
+
+// Name implements Shape.
+func (s MBBShape) Name() string { return "MBB" }
+
+// Area implements Shape.
+func (s MBBShape) Area() float64 { return s.Rect.Volume() }
+
+// Contains implements Shape.
+func (s MBBShape) Contains(p geom.Point) bool { return s.Rect.ContainsPoint(p) }
+
+// PointCount implements Shape: an MBB needs two points.
+func (s MBBShape) PointCount() int { return 2 }
+
+// --- Minimum bounding circle ---------------------------------------------------
+
+// CircleShape is a bounding ball (circle in 2d, sphere in 3d).
+type CircleShape struct {
+	Center geom.Point
+	Radius float64
+	dims   int
+}
+
+// Name implements Shape.
+func (s CircleShape) Name() string { return "MBC" }
+
+// Area implements Shape: circle area in 2d, sphere volume in 3d.
+func (s CircleShape) Area() float64 {
+	switch s.dims {
+	case 2:
+		return math.Pi * s.Radius * s.Radius
+	case 3:
+		return 4.0 / 3.0 * math.Pi * math.Pow(s.Radius, 3)
+	default:
+		// General d-ball volume.
+		d := float64(s.dims)
+		return math.Pow(math.Pi, d/2) / math.Gamma(d/2+1) * math.Pow(s.Radius, d)
+	}
+}
+
+// Contains implements Shape.
+func (s CircleShape) Contains(p geom.Point) bool {
+	return s.Center.DistSq(p) <= s.Radius*s.Radius*(1+1e-12)
+}
+
+// PointCount implements Shape: a ball needs a centre point and a radius; the
+// paper counts it as at most two points.
+func (s CircleShape) PointCount() int { return 2 }
+
+// NewMBC computes the minimum bounding circle of the corner points of the
+// given objects using Welzl's randomised algorithm (exact in 2d; in higher
+// dimensions it falls back to a Ritter-style approximation, which is only
+// used for statistics, never for query correctness).
+func NewMBC(objects []geom.Rect) CircleShape {
+	pts := cornerCloud(objects)
+	if len(pts) == 0 {
+		return CircleShape{}
+	}
+	dims := pts[0].Dims()
+	if dims == 2 {
+		c, r := welzl2d(pts)
+		return CircleShape{Center: c, Radius: r, dims: 2}
+	}
+	c, r := ritter(pts)
+	return CircleShape{Center: c, Radius: r, dims: dims}
+}
+
+// cornerCloud returns all corner points of the objects (the extreme points
+// that any bounding shape must cover).
+func cornerCloud(objects []geom.Rect) []geom.Point {
+	var pts []geom.Point
+	for _, o := range objects {
+		dims := o.Dims()
+		geom.Corners(dims, func(b geom.Corner) {
+			pts = append(pts, o.Corner(b))
+		})
+	}
+	return pts
+}
+
+// welzl2d computes the exact minimum enclosing circle of 2d points with the
+// move-to-front heuristic of Welzl's algorithm, implemented iteratively to
+// avoid deep recursion on large point sets.
+func welzl2d(pts []geom.Point) (geom.Point, float64) {
+	// Deterministic shuffle (fixed LCG) so results are reproducible.
+	shuffled := make([]geom.Point, len(pts))
+	copy(shuffled, pts)
+	seed := uint64(88172645463325252)
+	for i := len(shuffled) - 1; i > 0; i-- {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		j := int(seed % uint64(i+1))
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	var cx, cy, r float64
+	contains := func(p geom.Point) bool {
+		dx, dy := p[0]-cx, p[1]-cy
+		return dx*dx+dy*dy <= r*r*(1+1e-10)+1e-12
+	}
+	circleFrom2 := func(a, b geom.Point) {
+		cx, cy = (a[0]+b[0])/2, (a[1]+b[1])/2
+		r = math.Hypot(a[0]-cx, a[1]-cy)
+	}
+	circleFrom3 := func(a, b, c geom.Point) bool {
+		ax, ay := a[0], a[1]
+		bx, by := b[0], b[1]
+		cxx, cyy := c[0], c[1]
+		d := 2 * (ax*(by-cyy) + bx*(cyy-ay) + cxx*(ay-by))
+		if math.Abs(d) < 1e-12 {
+			return false
+		}
+		ux := ((ax*ax+ay*ay)*(by-cyy) + (bx*bx+by*by)*(cyy-ay) + (cxx*cxx+cyy*cyy)*(ay-by)) / d
+		uy := ((ax*ax+ay*ay)*(cxx-bx) + (bx*bx+by*by)*(ax-cxx) + (cxx*cxx+cyy*cyy)*(bx-ax)) / d
+		cx, cy = ux, uy
+		r = math.Hypot(ax-cx, ay-cy)
+		return true
+	}
+	cx, cy, r = shuffled[0][0], shuffled[0][1], 0
+	for i := 1; i < len(shuffled); i++ {
+		if contains(shuffled[i]) {
+			continue
+		}
+		// Circle must pass through shuffled[i].
+		cx, cy, r = shuffled[i][0], shuffled[i][1], 0
+		for j := 0; j < i; j++ {
+			if contains(shuffled[j]) {
+				continue
+			}
+			circleFrom2(shuffled[i], shuffled[j])
+			for k := 0; k < j; k++ {
+				if contains(shuffled[k]) {
+					continue
+				}
+				if !circleFrom3(shuffled[i], shuffled[j], shuffled[k]) {
+					// Collinear: fall back to the widest pair.
+					circleFrom2(shuffled[i], shuffled[k])
+					if !contains(shuffled[j]) {
+						circleFrom2(shuffled[j], shuffled[k])
+					}
+				}
+			}
+		}
+	}
+	return geom.Pt(cx, cy), r
+}
+
+// ritter computes an approximate bounding ball (within ~5 % of optimal) in
+// any dimensionality.
+func ritter(pts []geom.Point) (geom.Point, float64) {
+	// Start from the two points farthest apart along an axis sweep.
+	a := pts[0]
+	b := farthestFrom(pts, a)
+	c := farthestFrom(pts, b)
+	centre := b.Add(c).Scale(0.5)
+	radius := b.Dist(c) / 2
+	for _, p := range pts {
+		d := centre.Dist(p)
+		if d > radius {
+			// Grow the ball to include p.
+			newR := (radius + d) / 2
+			shift := (d - newR) / d
+			centre = centre.Add(p.Sub(centre).Scale(shift))
+			radius = newR
+		}
+	}
+	return centre, radius
+}
+
+func farthestFrom(pts []geom.Point, from geom.Point) geom.Point {
+	best := from
+	bestD := -1.0
+	for _, p := range pts {
+		if d := from.DistSq(p); d > bestD {
+			bestD, best = d, p
+		}
+	}
+	return best
+}
+
+// --- Convex polygons -----------------------------------------------------------
+
+// PolygonShape is a convex polygon in 2d, stored as counter-clockwise
+// vertices.
+type PolygonShape struct {
+	Vertices []geom.Point
+	label    string
+}
+
+// Name implements Shape.
+func (s PolygonShape) Name() string { return s.label }
+
+// Area implements Shape (shoelace formula).
+func (s PolygonShape) Area() float64 {
+	n := len(s.Vertices)
+	if n < 3 {
+		return 0
+	}
+	var a float64
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		a += s.Vertices[i][0]*s.Vertices[j][1] - s.Vertices[j][0]*s.Vertices[i][1]
+	}
+	return math.Abs(a) / 2
+}
+
+// Contains implements Shape for convex polygons: the point must be on the
+// inner side of every edge.
+func (s PolygonShape) Contains(p geom.Point) bool {
+	n := len(s.Vertices)
+	if n < 3 {
+		return false
+	}
+	sign := 0
+	for i := 0; i < n; i++ {
+		a, b := s.Vertices[i], s.Vertices[(i+1)%n]
+		cr := cross(a, b, p)
+		if math.Abs(cr) < 1e-12 {
+			continue
+		}
+		if cr > 0 {
+			if sign < 0 {
+				return false
+			}
+			sign = 1
+		} else {
+			if sign > 0 {
+				return false
+			}
+			sign = -1
+		}
+	}
+	return true
+}
+
+// PointCount implements Shape.
+func (s PolygonShape) PointCount() int { return len(s.Vertices) }
+
+func cross(o, a, b geom.Point) float64 {
+	return (a[0]-o[0])*(b[1]-o[1]) - (a[1]-o[1])*(b[0]-o[0])
+}
+
+// NewConvexHull computes the convex hull of the objects' corners (Andrew's
+// monotone chain, equivalent to the Graham scan the paper cites).
+func NewConvexHull(objects []geom.Rect) PolygonShape {
+	pts := cornerCloud(objects)
+	hull := convexHull2d(pts)
+	return PolygonShape{Vertices: hull, label: "CH"}
+}
+
+func convexHull2d(pts []geom.Point) []geom.Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	sorted := make([]geom.Point, len(pts))
+	copy(sorted, pts)
+	// Sort lexicographically by (x, y).
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && (sorted[j][0] < sorted[j-1][0] ||
+			(sorted[j][0] == sorted[j-1][0] && sorted[j][1] < sorted[j-1][1])); j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	// Deduplicate.
+	uniq := sorted[:0]
+	for i, p := range sorted {
+		if i == 0 || !p.Equal(sorted[i-1]) {
+			uniq = append(uniq, p)
+		}
+	}
+	sorted = uniq
+	if len(sorted) < 3 {
+		return sorted
+	}
+	var lower, upper []geom.Point
+	for _, p := range sorted {
+		for len(lower) >= 2 && cross(lower[len(lower)-2], lower[len(lower)-1], p) <= 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, p)
+	}
+	for i := len(sorted) - 1; i >= 0; i-- {
+		p := sorted[i]
+		for len(upper) >= 2 && cross(upper[len(upper)-2], upper[len(upper)-1], p) <= 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	return hull
+}
+
+// NewRotatedMBB computes the minimum-area rectangle over all orientations
+// aligned with a convex-hull edge (rotating-calipers style search, as the
+// paper describes: "iterating the edges of the convex hull and computing the
+// minimum bounding box with the same orientation as each edge").
+func NewRotatedMBB(objects []geom.Rect) PolygonShape {
+	hull := convexHull2d(cornerCloud(objects))
+	if len(hull) < 3 {
+		mbb := NewMBB(objects)
+		return PolygonShape{Vertices: rectCorners(mbb.Rect), label: "RMBB"}
+	}
+	bestArea := math.Inf(1)
+	var best []geom.Point
+	for i := 0; i < len(hull); i++ {
+		a, b := hull[i], hull[(i+1)%len(hull)]
+		angle := math.Atan2(b[1]-a[1], b[0]-a[0])
+		cosA, sinA := math.Cos(-angle), math.Sin(-angle)
+		minX, minY := math.Inf(1), math.Inf(1)
+		maxX, maxY := math.Inf(-1), math.Inf(-1)
+		for _, p := range hull {
+			x := p[0]*cosA - p[1]*sinA
+			y := p[0]*sinA + p[1]*cosA
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+		area := (maxX - minX) * (maxY - minY)
+		if area < bestArea {
+			bestArea = area
+			// Rotate the box corners back into the original frame.
+			cosB, sinB := math.Cos(angle), math.Sin(angle)
+			rot := func(x, y float64) geom.Point {
+				return geom.Pt(x*cosB-y*sinB, x*sinB+y*cosB)
+			}
+			best = []geom.Point{rot(minX, minY), rot(maxX, minY), rot(maxX, maxY), rot(minX, maxY)}
+		}
+	}
+	return PolygonShape{Vertices: best, label: "RMBB"}
+}
+
+func rectCorners(r geom.Rect) []geom.Point {
+	return []geom.Point{
+		geom.Pt(r.Lo[0], r.Lo[1]), geom.Pt(r.Hi[0], r.Lo[1]),
+		geom.Pt(r.Hi[0], r.Hi[1]), geom.Pt(r.Lo[0], r.Hi[1]),
+	}
+}
+
+// NewKCornerPolygon computes a convex polygon with at most k corners that
+// bounds the objects, by greedy edge removal on the convex hull: for each
+// hull edge, extend its two neighbouring edges until they meet; replacing
+// the edge's endpoints by that intersection point bounds a superset of the
+// hull and removes one vertex. The edge whose removal adds the least area is
+// collapsed repeatedly until only k vertices remain. This is the standard
+// heuristic for minimum-area circumscribing polygons; it slightly
+// over-estimates the optimal 4-C/5-C area, which only biases the comparison
+// against CBBs conservatively.
+func NewKCornerPolygon(objects []geom.Rect, k int) PolygonShape {
+	label := fmt.Sprintf("%d-C", k)
+	hull := convexHull2d(cornerCloud(objects))
+	if len(hull) <= k {
+		return PolygonShape{Vertices: hull, label: label}
+	}
+	verts := append([]geom.Point(nil), hull...)
+	for len(verts) > k && len(verts) > 3 {
+		n := len(verts)
+		bestIdx := -1
+		bestCost := math.Inf(1)
+		var bestPoint geom.Point
+		for i := 0; i < n; i++ {
+			// Edge to remove: (a, b) with neighbours prev->a and b->next.
+			prev := verts[(i-1+n)%n]
+			a := verts[i]
+			b := verts[(i+1)%n]
+			next := verts[(i+2)%n]
+			p, ta, tb, ok := lineIntersection(prev, a, next, b)
+			if !ok || ta <= 1 || tb <= 1 {
+				// The neighbouring edges diverge; collapsing this edge would
+				// not produce a bounding polygon.
+				continue
+			}
+			added := triangleArea(a, p, b)
+			if added < bestCost {
+				bestCost, bestIdx, bestPoint = added, i, p
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		// Replace vertices bestIdx and bestIdx+1 by the intersection point.
+		next := (bestIdx + 1) % len(verts)
+		verts[bestIdx] = bestPoint
+		verts = append(verts[:next], verts[next+1:]...)
+	}
+	return PolygonShape{Vertices: verts, label: label}
+}
+
+func triangleArea(a, b, c geom.Point) float64 {
+	return math.Abs(cross(a, b, c)) / 2
+}
+
+// lineIntersection intersects the infinite lines through (a1,a2) and
+// (b1,b2), returning the intersection point and the line parameters ta, tb
+// such that p = a1 + ta·(a2−a1) = b1 + tb·(b2−b1).
+func lineIntersection(a1, a2, b1, b2 geom.Point) (p geom.Point, ta, tb float64, ok bool) {
+	dax, day := a2[0]-a1[0], a2[1]-a1[1]
+	dbx, dby := b2[0]-b1[0], b2[1]-b1[1]
+	den := dax*dby - day*dbx
+	if math.Abs(den) < 1e-12 {
+		return nil, 0, 0, false
+	}
+	ta = ((b1[0]-a1[0])*dby - (b1[1]-a1[1])*dbx) / den
+	tb = ((b1[0]-a1[0])*day - (b1[1]-a1[1])*dax) / den
+	return geom.Pt(a1[0]+ta*dax, a1[1]+ta*day), ta, tb, true
+}
+
+// --- CBB as a shape -------------------------------------------------------------
+
+// CBBShape adapts a clipped bounding box to the Shape interface so it can be
+// compared against the convex alternatives.
+type CBBShape struct {
+	MBB   geom.Rect
+	Clips []core.ClipPoint
+	label string
+}
+
+// NewCBBShape clips the MBB of the objects with the given parameters and
+// returns the result as a Shape. The label follows the paper's naming
+// (CBBSKY / CBBSTA).
+func NewCBBShape(objects []geom.Rect, params core.Params) CBBShape {
+	mbb := geom.MBROf(objects)
+	clips := core.Clip(mbb, objects, params)
+	label := "CBBSKY"
+	if params.Method == core.MethodStairline {
+		label = "CBBSTA"
+	}
+	return CBBShape{MBB: mbb, Clips: clips, label: label}
+}
+
+// Name implements Shape.
+func (s CBBShape) Name() string { return s.label }
+
+// Area implements Shape: the MBB volume minus the exact clipped volume.
+func (s CBBShape) Area() float64 {
+	return s.MBB.Volume() - core.ClippedVolume(s.MBB, s.Clips)
+}
+
+// Contains implements Shape: inside the MBB and not strictly inside any
+// clipped region.
+func (s CBBShape) Contains(p geom.Point) bool {
+	if !s.MBB.ContainsPoint(p) {
+		return false
+	}
+	return !core.CoversPoint(s.MBB, s.Clips, p)
+}
+
+// PointCount implements Shape: the two MBB points plus one per clip point
+// (matching how Figure 9b counts representation cost).
+func (s CBBShape) PointCount() int { return 2 + len(s.Clips) }

@@ -1,0 +1,442 @@
+// Package clipindex plugs clipped bounding boxes (internal/core) into any
+// R-tree variant (internal/rtree), following Section IV of the paper:
+//
+//   - the clip points of every node live in a small auxiliary table keyed by
+//     node id (Figure 4b), fully separate from the node pages;
+//   - queries run the unmodified R-tree descent but consult Algorithm 2
+//     before visiting a child node, skipping children whose overlap with the
+//     query is entirely clipped dead space;
+//   - insertions keep the table consistent with the eager validity check of
+//     Section IV-D (re-clip only when a clip point would clip the new
+//     object, the node split, or the node's MBB changed);
+//   - deletions are handled lazily (clip points only become more
+//     conservative when data disappears) unless the MBB changes.
+package clipindex
+
+import (
+	"errors"
+	"fmt"
+
+	"cbb/internal/core"
+	"cbb/internal/geom"
+	"cbb/internal/rtree"
+	"cbb/internal/storage"
+)
+
+// Table is the auxiliary clip-point table of Figure 4b: node id → ordered
+// clip points. A node with no entry simply has no clip points.
+type Table map[rtree.NodeID][]core.ClipPoint
+
+// ClipPointCount returns the total number of stored clip points.
+func (t Table) ClipPointCount() int {
+	n := 0
+	for _, clips := range t {
+		n += len(clips)
+	}
+	return n
+}
+
+// AvgClipPointsPerNode returns the average number of clip points per node
+// that has at least one (the statistic reported atop the bars of Figure 13).
+func (t Table) AvgClipPointsPerNode() float64 {
+	if len(t) == 0 {
+		return 0
+	}
+	return float64(t.ClipPointCount()) / float64(len(t))
+}
+
+// ReclipCause attributes a clip-table recomputation to one of the three
+// causes decomposed in Figure 12.
+type ReclipCause int
+
+// Re-clip causes, from structurally forced to purely clip-induced.
+const (
+	// CauseSplit marks a node that was split (or newly created by a split);
+	// its contents changed wholesale, so its clip points must be rebuilt.
+	CauseSplit ReclipCause = iota
+	// CauseMBBChange marks a node whose MBB changed without a split.
+	CauseMBBChange
+	// CauseCBBOnly marks a node whose MBB did not change but whose clip
+	// points were invalidated by the inserted rectangle (Algorithm 2 with
+	// the insert selector returned false).
+	CauseCBBOnly
+)
+
+// String names the cause as in Figure 12's legend.
+func (c ReclipCause) String() string {
+	switch c {
+	case CauseSplit:
+		return "node split"
+	case CauseMBBChange:
+		return "MBB change"
+	case CauseCBBOnly:
+		return "CBB change"
+	default:
+		return fmt.Sprintf("ReclipCause(%d)", int(c))
+	}
+}
+
+// UpdateStats accumulates the re-clip accounting of the update experiment.
+type UpdateStats struct {
+	Inserts         int
+	Deletes         int
+	ReclipsBySplit  int
+	ReclipsByMBB    int
+	ReclipsByCBB    int
+	ValidityChecks  int
+	AvoidedReclips  int // validity check passed, clip table kept as-is
+	DeletesNoReclip int // deletions absorbed lazily
+}
+
+// TotalReclips returns all clip-table recomputations.
+func (u UpdateStats) TotalReclips() int {
+	return u.ReclipsBySplit + u.ReclipsByMBB + u.ReclipsByCBB
+}
+
+// ReclipsPerInsert returns the expected number of re-clips per insertion
+// (the y-axis of Figure 12).
+func (u UpdateStats) ReclipsPerInsert() float64 {
+	if u.Inserts == 0 {
+		return 0
+	}
+	return float64(u.TotalReclips()) / float64(u.Inserts)
+}
+
+// Index is a clipped R-tree: an rtree.Tree of any variant plus a clip table
+// and the parameters used to maintain it.
+type Index struct {
+	tree   *rtree.Tree
+	params core.Params
+	table  Table
+	stats  UpdateStats
+}
+
+// New wraps an existing tree (already built, possibly empty) and computes
+// clip points for all of its nodes.
+func New(tree *rtree.Tree, params core.Params) (*Index, error) {
+	if tree == nil {
+		return nil, errors.New("clipindex: tree must not be nil")
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	idx := &Index{tree: tree, params: params, table: make(Table)}
+	idx.RebuildAll()
+	return idx, nil
+}
+
+// Tree returns the underlying R-tree.
+func (x *Index) Tree() *rtree.Tree { return x.tree }
+
+// Params returns the clipping parameters.
+func (x *Index) Params() core.Params { return x.params }
+
+// Table returns the auxiliary clip table. The caller must not modify it.
+func (x *Index) Table() Table { return x.table }
+
+// Stats returns the accumulated update statistics.
+func (x *Index) Stats() UpdateStats { return x.stats }
+
+// ResetStats zeroes the update statistics.
+func (x *Index) ResetStats() { x.stats = UpdateStats{} }
+
+// Len returns the number of indexed objects.
+func (x *Index) Len() int { return x.tree.Len() }
+
+// RebuildAll recomputes the clip points of every node from scratch
+// (Algorithm 1 applied to each node, as done when a freshly built R-tree is
+// clipped before its nodes are flushed to disk).
+func (x *Index) RebuildAll() {
+	x.table = make(Table)
+	x.tree.Walk(func(info rtree.NodeInfo) {
+		x.reclipNode(info)
+	})
+}
+
+// reclipNode recomputes one node's clip points from a node snapshot.
+func (x *Index) reclipNode(info rtree.NodeInfo) {
+	children := make([]geom.Rect, len(info.Children))
+	for i := range info.Children {
+		children[i] = info.Children[i].Rect
+	}
+	clips := core.Clip(info.MBB, children, x.params)
+	if len(clips) == 0 {
+		delete(x.table, info.ID)
+		return
+	}
+	x.table[info.ID] = clips
+}
+
+// reclipByID recomputes one node's clip points, looking the node up first;
+// missing nodes (freed during condensation) are simply dropped.
+func (x *Index) reclipByID(id rtree.NodeID) {
+	info, err := x.tree.Node(id)
+	if err != nil {
+		delete(x.table, id)
+		return
+	}
+	x.reclipNode(info)
+	x.tree.Counter().Reclip(1)
+}
+
+// Search finds every object intersecting q, using clip points to skip child
+// nodes whose overlap with q is entirely dead space. Results are identical
+// to an unclipped search; only the I/O differs.
+func (x *Index) Search(q geom.Rect, visit func(rtree.ObjectID, geom.Rect) bool) {
+	if x.tree.RootID() == rtree.InvalidNode {
+		return
+	}
+	// The root's own clip points can prune the query outright.
+	rootInfo, err := x.tree.Node(x.tree.RootID())
+	if err == nil {
+		if !core.Intersects(rootInfo.MBB, x.table[rootInfo.ID], q, core.SelectorQuery) {
+			return
+		}
+	}
+	x.tree.SearchFiltered(q, func(child rtree.NodeID, childMBB geom.Rect) bool {
+		clips := x.table[child]
+		if len(clips) == 0 {
+			return true
+		}
+		return core.Intersects(childMBB, clips, q, core.SelectorQuery)
+	}, visit)
+}
+
+// Count returns the number of objects intersecting q using the clipped
+// search path.
+func (x *Index) Count(q geom.Rect) int {
+	n := 0
+	x.Search(q, func(rtree.ObjectID, geom.Rect) bool { n++; return true })
+	return n
+}
+
+// Insert adds an object and maintains the clip table per Section IV-D. It
+// returns the causes of any clip recomputations performed (for the update
+// experiment).
+func (x *Index) Insert(r geom.Rect, obj rtree.ObjectID) ([]ReclipCause, error) {
+	trace, err := x.tree.Insert(r, obj)
+	if err != nil {
+		return nil, err
+	}
+	x.stats.Inserts++
+	var causes []ReclipCause
+
+	reclipped := make(map[rtree.NodeID]bool)
+	reclip := func(id rtree.NodeID, cause ReclipCause) {
+		if reclipped[id] {
+			return
+		}
+		reclipped[id] = true
+		x.reclipByID(id)
+		causes = append(causes, cause)
+		switch cause {
+		case CauseSplit:
+			x.stats.ReclipsBySplit++
+		case CauseMBBChange:
+			x.stats.ReclipsByMBB++
+		case CauseCBBOnly:
+			x.stats.ReclipsByCBB++
+		}
+	}
+
+	// 1. Nodes that were split or created: their content changed wholesale.
+	for _, id := range trace.Split {
+		reclip(id, CauseSplit)
+	}
+	for _, id := range trace.Created {
+		reclip(id, CauseSplit)
+	}
+	// 2. Nodes whose MBB changed: thresholds and orderings are distorted, so
+	// the paper recomputes them.
+	for _, id := range trace.MBBChanged {
+		reclip(id, CauseMBBChange)
+	}
+	// 3. Every node that received an entry (the target leaf and any node
+	// touched by forced reinsertion) but was not structurally changed: run
+	// the eager validity check of Algorithm 2 with the insert selector and
+	// re-clip only when the placed rectangle reaches into clipped dead
+	// space.
+	for _, pl := range trace.Placements {
+		if reclipped[pl.Node] {
+			continue
+		}
+		clips := x.table[pl.Node]
+		if len(clips) == 0 {
+			// No clip points can be invalidated, but new dead space might
+			// now be clippable; the paper leaves such nodes alone until the
+			// next forced recomputation, and so do we.
+			x.stats.AvoidedReclips++
+			continue
+		}
+		info, err := x.tree.Node(pl.Node)
+		if err != nil {
+			continue
+		}
+		x.stats.ValidityChecks++
+		if !core.Intersects(info.MBB, clips, pl.Rect, core.SelectorInsert) {
+			reclip(pl.Node, CauseCBBOnly)
+		} else {
+			x.stats.AvoidedReclips++
+		}
+	}
+	// 4. Ancestors whose own MBB did not change but one of whose children
+	// grew (child MBB change could intrude into the parent's clipped
+	// corners): validity-check them against the grown child rectangles.
+	x.checkAncestors(trace, reclip)
+	return causes, nil
+}
+
+// checkAncestors runs the insert-validity test on parents of changed nodes
+// that were not themselves re-clipped.
+func (x *Index) checkAncestors(trace *rtree.InsertTrace, reclip func(rtree.NodeID, ReclipCause)) {
+	changed := append(append([]rtree.NodeID{}, trace.MBBChanged...), trace.Split...)
+	changed = append(changed, trace.Created...)
+	for _, id := range changed {
+		info, err := x.tree.Node(id)
+		if err != nil || info.Parent == rtree.InvalidNode {
+			continue
+		}
+		parent := info.Parent
+		if trace.Changed(parent) {
+			continue // already re-clipped via its own cause
+		}
+		clips := x.table[parent]
+		if len(clips) == 0 {
+			continue
+		}
+		pinfo, err := x.tree.Node(parent)
+		if err != nil {
+			continue
+		}
+		x.stats.ValidityChecks++
+		if !core.Intersects(pinfo.MBB, clips, info.MBB, core.SelectorInsert) {
+			reclip(parent, CauseCBBOnly)
+		} else {
+			x.stats.AvoidedReclips++
+		}
+	}
+}
+
+// Delete removes an object. Deletions are handled lazily: clip points stay
+// valid when space only becomes emptier, so the table is touched only for
+// nodes whose MBB changed or that were dissolved.
+func (x *Index) Delete(r geom.Rect, obj rtree.ObjectID) (bool, error) {
+	trace, err := x.tree.Delete(r, obj)
+	if err != nil {
+		return false, err
+	}
+	if !trace.Found {
+		return false, nil
+	}
+	x.stats.Deletes++
+	for _, id := range trace.Removed {
+		delete(x.table, id)
+	}
+	reclipped := make(map[rtree.NodeID]bool)
+	for _, id := range trace.MBBChanged {
+		if !reclipped[id] {
+			reclipped[id] = true
+			x.reclipByID(id)
+		}
+	}
+	// Entries re-inserted by the condense step may land in clipped dead
+	// space of nodes whose MBB did not change; validity-check each placement
+	// just like an insertion.
+	for _, pl := range trace.Placements {
+		if reclipped[pl.Node] {
+			continue
+		}
+		clips := x.table[pl.Node]
+		if len(clips) == 0 {
+			continue
+		}
+		info, err := x.tree.Node(pl.Node)
+		if err != nil {
+			continue
+		}
+		if !core.Intersects(info.MBB, clips, pl.Rect, core.SelectorInsert) {
+			reclipped[pl.Node] = true
+			x.reclipByID(pl.Node)
+		}
+	}
+	// A node whose MBB grew during re-insertion may now intrude into its
+	// parent's clipped corners even though the parent's own MBB is
+	// unchanged; validity-check those parents as well.
+	for _, id := range trace.MBBChanged {
+		info, err := x.tree.Node(id)
+		if err != nil || info.Parent == rtree.InvalidNode || reclipped[info.Parent] {
+			continue
+		}
+		clips := x.table[info.Parent]
+		if len(clips) == 0 {
+			continue
+		}
+		pinfo, err := x.tree.Node(info.Parent)
+		if err != nil {
+			continue
+		}
+		if !core.Intersects(pinfo.MBB, clips, info.MBB, core.SelectorInsert) {
+			reclipped[info.Parent] = true
+			x.reclipByID(info.Parent)
+		}
+	}
+	if len(reclipped) == 0 {
+		x.stats.DeletesNoReclip++
+	}
+	return true, nil
+}
+
+// Validate checks that the clip table is sound: every clip point belongs to
+// a live node, lies inside that node's MBB, and clips only dead space (no
+// child rectangle overlaps a clipped region's interior). It returns the
+// first violation found.
+func (x *Index) Validate() error {
+	live := make(map[rtree.NodeID]rtree.NodeInfo)
+	x.tree.Walk(func(info rtree.NodeInfo) { live[info.ID] = info })
+	for id, clips := range x.table {
+		info, ok := live[id]
+		if !ok {
+			return fmt.Errorf("clipindex: clip table references dead node %d", id)
+		}
+		for _, c := range clips {
+			if !info.MBB.ContainsPoint(c.Coord) {
+				return fmt.Errorf("clipindex: node %d clip point %v outside MBB %v", id, c, info.MBB)
+			}
+			region := c.Region(info.MBB)
+			for _, child := range info.Children {
+				if region.OverlapVolume(child.Rect) > 1e-9 {
+					return fmt.Errorf("clipindex: node %d clip point %v clips child %v", id, c, child.Rect)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SaveAux serialises the clip table onto a pager as auxiliary pages
+// (Figure 4b) and returns the number of pages written. Used by the
+// storage-overhead experiment.
+func (x *Index) SaveAux(p *storage.Pager) (pages int, err error) {
+	buf := EncodeTable(x.table, x.tree.Dims())
+	pageSize := p.PageSize()
+	for off := 0; off < len(buf); off += pageSize {
+		end := off + pageSize
+		if end > len(buf) {
+			end = len(buf)
+		}
+		id, err := p.Allocate(storage.KindAux)
+		if err != nil {
+			return pages, err
+		}
+		if err := p.Write(id, buf[off:end]); err != nil {
+			return pages, err
+		}
+		pages++
+	}
+	return pages, nil
+}
+
+// AuxBytes returns the exact serialised size of the clip table in bytes.
+func (x *Index) AuxBytes() int {
+	return len(EncodeTable(x.table, x.tree.Dims()))
+}

@@ -1,0 +1,186 @@
+package core
+
+// Property-based tests (testing/quick) for the CBB core: regardless of how
+// children and probes are generated, clip points must only ever certify true
+// dead space, and the clipped intersection test must never prune a probe
+// that touches a child.
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cbb/internal/geom"
+)
+
+// clipScenario is a randomly generated node: a set of child rectangles plus
+// a probe rectangle, in 2 or 3 dimensions.
+type clipScenario struct {
+	Children []geom.Rect
+	Probe    geom.Rect
+}
+
+// Generate implements quick.Generator so testing/quick can produce valid
+// scenarios directly (random float64 structs would mostly be invalid
+// rectangles).
+func (clipScenario) Generate(r *rand.Rand, size int) reflect.Value {
+	dims := 2 + r.Intn(2)
+	n := 2 + r.Intn(12)
+	if size > 0 {
+		n = 2 + r.Intn(10+size%20)
+	}
+	children := make([]geom.Rect, n)
+	for i := range children {
+		lo := make(geom.Point, dims)
+		hi := make(geom.Point, dims)
+		for d := 0; d < dims; d++ {
+			a := float64(r.Intn(60))
+			lo[d] = a
+			hi[d] = a + float64(r.Intn(12))
+		}
+		children[i] = geom.Rect{Lo: lo, Hi: hi}
+	}
+	plo := make(geom.Point, dims)
+	phi := make(geom.Point, dims)
+	for d := 0; d < dims; d++ {
+		a := float64(r.Intn(70)) - 5
+		plo[d] = a
+		phi[d] = a + float64(r.Intn(20))
+	}
+	return reflect.ValueOf(clipScenario{Children: children, Probe: geom.Rect{Lo: plo, Hi: phi}})
+}
+
+func TestQuickClipSoundness(t *testing.T) {
+	property := func(s clipScenario) bool {
+		mbb := geom.MBROf(s.Children)
+		dims := mbb.Dims()
+		for _, method := range []Method{MethodSkyline, MethodStairline} {
+			clips := Clip(mbb, s.Children, Params{K: 1 << uint(dims+1), Tau: 0, Method: method})
+			for _, c := range clips {
+				region := c.Region(mbb)
+				if !mbb.ContainsRect(region) {
+					return false
+				}
+				for _, ch := range s.Children {
+					if region.OverlapVolume(ch) > 1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectsNeverFalselyPrunes(t *testing.T) {
+	property := func(s clipScenario) bool {
+		mbb := geom.MBROf(s.Children)
+		dims := mbb.Dims()
+		clips := Clip(mbb, s.Children, Params{K: 1 << uint(dims+1), Tau: 0, Method: MethodStairline})
+		touchesChild := false
+		for _, ch := range s.Children {
+			if ch.Intersects(s.Probe) {
+				touchesChild = true
+				break
+			}
+		}
+		if !touchesChild {
+			return true // pruning a probe that hits nothing is always fine
+		}
+		return Intersects(mbb, clips, s.Probe, SelectorQuery)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 600}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInsertValidityConservative(t *testing.T) {
+	// If ValidAfterInsert says the clip table survives an insertion, then the
+	// inserted rectangle must not overlap any clipped region's interior.
+	property := func(s clipScenario) bool {
+		mbb := geom.MBROf(s.Children)
+		dims := mbb.Dims()
+		clips := Clip(mbb, s.Children, Params{K: 1 << uint(dims+1), Tau: 0, Method: MethodStairline})
+		grown := mbb.Union(s.Probe)
+		if !ValidAfterInsert(grown, clips, s.Probe) {
+			return true // recomputation is always a safe answer
+		}
+		for _, c := range clips {
+			if c.Region(mbb).OverlapVolume(s.Probe) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 600}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionVolumeBounds(t *testing.T) {
+	// The exact union volume is bounded below by the largest member and
+	// above by the sum of members.
+	property := func(s clipScenario) bool {
+		var sum, max float64
+		for _, r := range s.Children {
+			v := r.Volume()
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		u := UnionVolume(s.Children)
+		return u >= max-1e-9 && u <= sum+1e-9
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickClippedVolumeMonotoneInK(t *testing.T) {
+	// More clip points can only remove more (or equal) volume.
+	property := func(s clipScenario) bool {
+		mbb := geom.MBROf(s.Children)
+		dims := mbb.Dims()
+		prev := -1.0
+		for _, k := range []int{1, 2, 4, 1 << uint(dims+1)} {
+			clips := Clip(mbb, s.Children, Params{K: k, Tau: 0, Method: MethodStairline})
+			v := ClippedVolume(mbb, clips)
+			if v+1e-9 < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickScoresWithinNodeVolume(t *testing.T) {
+	// Every stored clip point's score is positive and never exceeds the node
+	// volume (scores are clipped-volume approximations).
+	property := func(s clipScenario) bool {
+		mbb := geom.MBROf(s.Children)
+		if mbb.Volume() <= 0 {
+			return true
+		}
+		dims := mbb.Dims()
+		clips := Clip(mbb, s.Children, Params{K: 1 << uint(dims+1), Tau: 0.01, Method: MethodStairline})
+		for _, c := range clips {
+			if c.Score <= 0 || c.Score > mbb.Volume()*(1+1e-9) || math.IsNaN(c.Score) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

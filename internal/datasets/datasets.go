@@ -1,0 +1,344 @@
+// Package datasets provides seeded synthetic generators standing in for the
+// seven datasets of the paper's evaluation. The real datasets (California
+// street segments, a biological point file, and Human Brain Project neuron
+// morphologies) are not redistributable, so each generator reproduces the
+// structural properties the paper attributes its results to:
+//
+//	par02 / par03 — boxes with very large variance in size and shape
+//	                (log-normal extents around uniformly placed centres), the
+//	                documented behaviour of the benchmark's parametric
+//	                generator;
+//	rea02         — street-network-like 2d data: thin axis-aligned and
+//	                diagonal segments arranged in grid-distorted clusters
+//	                ("streets wrap around dead space, particularly in cities
+//	                with grid patterns");
+//	rea03         — clustered 3d points (zero-volume objects);
+//	axo03         — long, thin, randomly walking 3d tubule segments with a
+//	                persistent direction (axon-like);
+//	den03         — shorter, branchier tubule segments (dendrite-like);
+//	neu03         — a mixture of axon-like and dendrite-like segments
+//	                (neurite-like).
+//
+// All generators are deterministic given (name, n, seed). See DESIGN.md §4
+// for the substitution rationale.
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cbb/internal/geom"
+)
+
+// Spec describes one synthetic dataset.
+type Spec struct {
+	// Name is the paper's dataset identifier (e.g. "rea02").
+	Name string
+	// Dims is the dimensionality (2 or 3).
+	Dims int
+	// DefaultSize is the object count used by the evaluation harness when no
+	// explicit scale is requested.
+	DefaultSize int
+	// PaperSize is the object count of the original dataset, for reference.
+	PaperSize int
+	// Description summarises what the generator emulates.
+	Description string
+}
+
+// Specs lists the seven datasets in the order the paper's figures use.
+var Specs = []Spec{
+	{Name: "par02", Dims: 2, DefaultSize: 40000, PaperSize: 1048576, Description: "synthetic 2d boxes with large size/shape variance"},
+	{Name: "par03", Dims: 3, DefaultSize: 40000, PaperSize: 1048576, Description: "synthetic 3d boxes with large size/shape variance"},
+	{Name: "rea02", Dims: 2, DefaultSize: 40000, PaperSize: 1888012, Description: "street-segment-like 2d rectangles and points"},
+	{Name: "rea03", Dims: 3, DefaultSize: 40000, PaperSize: 11958999, Description: "clustered 3d points (biological attributes)"},
+	{Name: "axo03", Dims: 3, DefaultSize: 40000, PaperSize: 2570016, Description: "axon-like thin 3d tubule segments"},
+	{Name: "den03", Dims: 3, DefaultSize: 40000, PaperSize: 1288251, Description: "dendrite-like branchy 3d tubule segments"},
+	{Name: "neu03", Dims: 3, DefaultSize: 40000, PaperSize: 3858267, Description: "neurite-like mixed 3d tubule segments"},
+}
+
+// Names returns the dataset names in figure order.
+func Names() []string {
+	out := make([]string, len(Specs))
+	for i, s := range Specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Lookup returns the Spec for a dataset name.
+func Lookup(name string) (Spec, error) {
+	for _, s := range Specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("datasets: unknown dataset %q (known: %v)", name, Names())
+}
+
+// universeSide is the extent of the data universe in every dimension.
+const universeSide = 10000.0
+
+// Universe returns the bounding universe of the named dataset.
+func Universe(name string) (geom.Rect, error) {
+	spec, err := Lookup(name)
+	if err != nil {
+		return geom.Rect{}, err
+	}
+	lo := make(geom.Point, spec.Dims)
+	hi := make(geom.Point, spec.Dims)
+	for d := 0; d < spec.Dims; d++ {
+		hi[d] = universeSide
+	}
+	return geom.Rect{Lo: lo, Hi: hi}, nil
+}
+
+// Generate produces n objects of the named dataset using the given seed.
+// With n <= 0 the spec's DefaultSize is used.
+func Generate(name string, n int, seed int64) ([]geom.Rect, error) {
+	spec, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		n = spec.DefaultSize
+	}
+	rng := rand.New(rand.NewSource(seed ^ int64(len(name))<<32))
+	switch name {
+	case "par02":
+		return genParametric(rng, n, 2), nil
+	case "par03":
+		return genParametric(rng, n, 3), nil
+	case "rea02":
+		return genStreets(rng, n), nil
+	case "rea03":
+		return genClusteredPoints(rng, n), nil
+	case "axo03":
+		return genTubules(rng, n, tubuleParams{segments: 200, stepLen: 18, jitter: 0.15, radius: 0.6}), nil
+	case "den03":
+		return genTubules(rng, n, tubuleParams{segments: 40, stepLen: 8, jitter: 0.5, radius: 0.9}), nil
+	case "neu03":
+		return genNeurites(rng, n), nil
+	default:
+		return nil, fmt.Errorf("datasets: generator for %q not implemented", name)
+	}
+}
+
+// genParametric emulates the benchmark's parametric generator: centres are
+// uniform in the universe; extents are log-normal with a heavy tail, drawn
+// independently per dimension so aspect ratios vary wildly.
+func genParametric(rng *rand.Rand, n, dims int) []geom.Rect {
+	out := make([]geom.Rect, 0, n)
+	for i := 0; i < n; i++ {
+		lo := make(geom.Point, dims)
+		hi := make(geom.Point, dims)
+		for d := 0; d < dims; d++ {
+			c := rng.Float64() * universeSide
+			// Log-normal extent: median ~2 units, occasionally hundreds.
+			ext := math.Exp(rng.NormFloat64()*1.6) * 2
+			if ext > universeSide/10 {
+				ext = universeSide / 10
+			}
+			lo[d] = clamp(c-ext/2, 0, universeSide)
+			hi[d] = clamp(c+ext/2, 0, universeSide)
+			if hi[d] < lo[d] {
+				lo[d], hi[d] = hi[d], lo[d]
+			}
+		}
+		out = append(out, geom.Rect{Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// genStreets emulates a street network: a handful of city clusters, each
+// with a locally rotated grid of streets subdivided into short, thin
+// segments, plus sparse long-distance diagonal roads. About 10 % of the
+// objects are points (addresses / POIs), matching "rectangles and points".
+func genStreets(rng *rand.Rand, n int) []geom.Rect {
+	out := make([]geom.Rect, 0, n)
+	numCities := 12
+	type city struct {
+		cx, cy, radius, angle float64
+	}
+	cities := make([]city, numCities)
+	for i := range cities {
+		cities[i] = city{
+			cx:     rng.Float64() * universeSide,
+			cy:     rng.Float64() * universeSide,
+			radius: 300 + rng.Float64()*900,
+			angle:  rng.Float64() * math.Pi / 2,
+		}
+	}
+	for len(out) < n {
+		r := rng.Float64()
+		switch {
+		case r < 0.10:
+			// A point object.
+			c := cities[rng.Intn(numCities)]
+			x := c.cx + rng.NormFloat64()*c.radius/2
+			y := c.cy + rng.NormFloat64()*c.radius/2
+			p := geom.Pt(clamp(x, 0, universeSide), clamp(y, 0, universeSide))
+			out = append(out, geom.PointRect(p))
+		case r < 0.85:
+			// A city-grid street segment: short, thin, aligned with the
+			// city's local grid orientation.
+			c := cities[rng.Intn(numCities)]
+			x := c.cx + rng.NormFloat64()*c.radius/2
+			y := c.cy + rng.NormFloat64()*c.radius/2
+			length := 10 + rng.Float64()*60
+			theta := c.angle
+			if rng.Intn(2) == 0 {
+				theta += math.Pi / 2
+			}
+			out = append(out, segmentRect2(x, y, theta, length))
+		default:
+			// A long-distance road segment between two cities (diagonal).
+			a := cities[rng.Intn(numCities)]
+			b := cities[rng.Intn(numCities)]
+			t := rng.Float64()
+			x := a.cx + (b.cx-a.cx)*t
+			y := a.cy + (b.cy-a.cy)*t
+			theta := math.Atan2(b.cy-a.cy, b.cx-a.cx)
+			length := 40 + rng.Float64()*120
+			out = append(out, segmentRect2(x, y, theta, length))
+		}
+	}
+	return out[:n]
+}
+
+// segmentRect2 builds the MBB of a thin 2d segment of the given length and
+// orientation centred at (x, y).
+func segmentRect2(x, y, theta, length float64) geom.Rect {
+	dx := math.Cos(theta) * length / 2
+	dy := math.Sin(theta) * length / 2
+	lo := geom.Pt(clamp(math.Min(x-dx, x+dx), 0, universeSide), clamp(math.Min(y-dy, y+dy), 0, universeSide))
+	hi := geom.Pt(clamp(math.Max(x-dx, x+dx), 0, universeSide), clamp(math.Max(y-dy, y+dy), 0, universeSide))
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// genClusteredPoints emulates the 3d point dataset: Gaussian clusters of
+// zero-volume points with skewed cluster populations.
+func genClusteredPoints(rng *rand.Rand, n int) []geom.Rect {
+	out := make([]geom.Rect, 0, n)
+	numClusters := 40
+	type cluster struct {
+		c      geom.Point
+		spread float64
+		weight float64
+	}
+	clusters := make([]cluster, numClusters)
+	totalW := 0.0
+	for i := range clusters {
+		w := math.Exp(rng.NormFloat64())
+		clusters[i] = cluster{
+			c:      geom.Pt(rng.Float64()*universeSide, rng.Float64()*universeSide, rng.Float64()*universeSide),
+			spread: 50 + rng.Float64()*400,
+			weight: w,
+		}
+		totalW += w
+	}
+	for len(out) < n {
+		// Weighted cluster choice.
+		target := rng.Float64() * totalW
+		idx := 0
+		for acc := 0.0; idx < numClusters-1; idx++ {
+			acc += clusters[idx].weight
+			if acc >= target {
+				break
+			}
+		}
+		cl := clusters[idx]
+		p := geom.Pt(
+			clamp(cl.c[0]+rng.NormFloat64()*cl.spread, 0, universeSide),
+			clamp(cl.c[1]+rng.NormFloat64()*cl.spread, 0, universeSide),
+			clamp(cl.c[2]+rng.NormFloat64()*cl.spread, 0, universeSide),
+		)
+		out = append(out, geom.PointRect(p))
+	}
+	return out
+}
+
+type tubuleParams struct {
+	segments int     // segments per fibre before starting a new one
+	stepLen  float64 // mean segment length
+	jitter   float64 // direction change per step (radians-ish)
+	radius   float64 // half thickness of the tubule
+}
+
+// genTubules emulates axon/dendrite morphologies: fibres performing a
+// persistent 3d random walk; each step contributes the MBB of one thin
+// segment. Long skinny diagonal boxes produce exactly the pathological dead
+// space the paper reports (≥ 90 % per node).
+func genTubules(rng *rand.Rand, n int, p tubuleParams) []geom.Rect {
+	out := make([]geom.Rect, 0, n)
+	for len(out) < n {
+		// Start a new fibre at a random position with a random direction.
+		pos := geom.Pt(rng.Float64()*universeSide, rng.Float64()*universeSide, rng.Float64()*universeSide)
+		dir := randomUnit3(rng)
+		for s := 0; s < p.segments && len(out) < n; s++ {
+			length := p.stepLen * (0.5 + rng.Float64())
+			next := geom.Pt(
+				clamp(pos[0]+dir[0]*length, 0, universeSide),
+				clamp(pos[1]+dir[1]*length, 0, universeSide),
+				clamp(pos[2]+dir[2]*length, 0, universeSide),
+			)
+			lo := pos.Min(next).Sub(geom.Pt(p.radius, p.radius, p.radius))
+			hi := pos.Max(next).Add(geom.Pt(p.radius, p.radius, p.radius))
+			for d := 0; d < 3; d++ {
+				lo[d] = clamp(lo[d], 0, universeSide)
+				hi[d] = clamp(hi[d], 0, universeSide)
+			}
+			out = append(out, geom.Rect{Lo: lo, Hi: hi})
+			pos = next
+			// Perturb the direction while keeping it persistent.
+			dir = perturbUnit3(rng, dir, p.jitter)
+		}
+	}
+	return out[:n]
+}
+
+// genNeurites mixes axon-like and dendrite-like fibres roughly 60/40.
+func genNeurites(rng *rand.Rand, n int) []geom.Rect {
+	axons := genTubules(rng, n*3/5, tubuleParams{segments: 200, stepLen: 18, jitter: 0.15, radius: 0.6})
+	dendrites := genTubules(rng, n-len(axons), tubuleParams{segments: 40, stepLen: 8, jitter: 0.5, radius: 0.9})
+	out := append(axons, dendrites...)
+	// Interleave deterministically so prefixes of the slice remain mixed.
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Lo[0]+out[i].Lo[1] < out[j].Lo[0]+out[j].Lo[1]
+	})
+	return out
+}
+
+func randomUnit3(rng *rand.Rand) geom.Point {
+	for {
+		v := geom.Pt(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		n := math.Sqrt(v[0]*v[0] + v[1]*v[1] + v[2]*v[2])
+		if n > 1e-9 {
+			return v.Scale(1 / n)
+		}
+	}
+}
+
+func perturbUnit3(rng *rand.Rand, dir geom.Point, jitter float64) geom.Point {
+	v := geom.Pt(
+		dir[0]+rng.NormFloat64()*jitter,
+		dir[1]+rng.NormFloat64()*jitter,
+		dir[2]+rng.NormFloat64()*jitter,
+	)
+	n := math.Sqrt(v[0]*v[0] + v[1]*v[1] + v[2]*v[2])
+	if n < 1e-9 {
+		return dir
+	}
+	return v.Scale(1 / n)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

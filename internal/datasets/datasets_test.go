@@ -1,0 +1,224 @@
+package datasets
+
+import (
+	"testing"
+
+	"cbb/internal/geom"
+)
+
+func TestNamesAndLookup(t *testing.T) {
+	names := Names()
+	if len(names) != 7 {
+		t.Fatalf("expected 7 datasets, got %d", len(names))
+	}
+	for _, name := range names {
+		spec, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if spec.Dims != 2 && spec.Dims != 3 {
+			t.Errorf("%s: dims = %d", name, spec.Dims)
+		}
+		if spec.DefaultSize <= 0 || spec.PaperSize <= 0 || spec.Description == "" {
+			t.Errorf("%s: incomplete spec %+v", name, spec)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+func TestUniverse(t *testing.T) {
+	for _, name := range Names() {
+		u, err := Universe(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, _ := Lookup(name)
+		if u.Dims() != spec.Dims || !u.Valid() || u.Volume() <= 0 {
+			t.Errorf("%s: bad universe %v", name, u)
+		}
+	}
+	if _, err := Universe("nope"); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+func TestGenerateBasicProperties(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			objs, err := Generate(name, 3000, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(objs) != 3000 {
+				t.Fatalf("generated %d objects, want 3000", len(objs))
+			}
+			spec, _ := Lookup(name)
+			uni, _ := Universe(name)
+			for i, o := range objs {
+				if !o.Valid() {
+					t.Fatalf("object %d invalid: %v", i, o)
+				}
+				if o.Dims() != spec.Dims {
+					t.Fatalf("object %d has %d dims, want %d", i, o.Dims(), spec.Dims)
+				}
+				if !uni.ContainsRect(o) {
+					t.Fatalf("object %d escapes the universe: %v", i, o)
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		a, _ := Generate(name, 500, 42)
+		b, _ := Generate(name, 500, 42)
+		c, _ := Generate(name, 500, 43)
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ", name)
+		}
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				t.Fatalf("%s: same seed produced different object %d", name, i)
+			}
+		}
+		same := true
+		for i := range a {
+			if !a[i].Equal(c[i]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: different seeds produced identical data", name)
+		}
+	}
+}
+
+func TestGenerateDefaultSizeAndErrors(t *testing.T) {
+	objs, err := Generate("par02", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := Lookup("par02")
+	if len(objs) != spec.DefaultSize {
+		t.Errorf("default size not honoured: %d vs %d", len(objs), spec.DefaultSize)
+	}
+	if _, err := Generate("bogus", 10, 1); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+func TestPointDatasetsAreDegenerate(t *testing.T) {
+	objs, _ := Generate("rea03", 1000, 3)
+	for _, o := range objs {
+		if o.Volume() != 0 {
+			t.Fatalf("rea03 should contain only points, found %v", o)
+		}
+	}
+	// rea02 contains both points and segments.
+	objs2, _ := Generate("rea02", 5000, 3)
+	points, rects := 0, 0
+	for _, o := range objs2 {
+		if o.Volume() == 0 && o.Margin() == 0 {
+			points++
+		} else {
+			rects++
+		}
+	}
+	if points == 0 || rects == 0 {
+		t.Errorf("rea02 should mix points (%d) and segments (%d)", points, rects)
+	}
+}
+
+func TestTubulesAreSkinny(t *testing.T) {
+	// Axon-like objects are long and thin: their average aspect ratio
+	// (longest side / shortest side) must be clearly above 1, and the
+	// average fill of their own MBB is irrelevant here — we check elongation.
+	objs, _ := Generate("axo03", 3000, 5)
+	elongated := 0
+	for _, o := range objs {
+		longest, shortest := 0.0, 1e18
+		for d := 0; d < 3; d++ {
+			s := o.Side(d)
+			if s > longest {
+				longest = s
+			}
+			if s < shortest {
+				shortest = s
+			}
+		}
+		if shortest > 0 && longest/shortest > 3 {
+			elongated++
+		}
+	}
+	if float64(elongated) < 0.5*float64(len(objs)) {
+		t.Errorf("axon segments should be mostly elongated: %d of %d", elongated, len(objs))
+	}
+}
+
+func TestParametricSizeVariance(t *testing.T) {
+	// The parametric datasets are documented as having "a very large
+	// variance in size and shape": the largest object volume should exceed
+	// the median by orders of magnitude.
+	objs, _ := Generate("par02", 5000, 7)
+	vols := make([]float64, len(objs))
+	for i, o := range objs {
+		vols[i] = o.Volume()
+	}
+	var max float64
+	for _, v := range vols {
+		if v > max {
+			max = v
+		}
+	}
+	// median
+	med := median(vols)
+	if med <= 0 || max/med < 100 {
+		t.Errorf("expected heavy-tailed sizes: max=%g median=%g", max, med)
+	}
+}
+
+func median(v []float64) float64 {
+	c := append([]float64(nil), v...)
+	for i := 1; i < len(c); i++ {
+		for j := i; j > 0 && c[j] < c[j-1]; j-- {
+			c[j], c[j-1] = c[j-1], c[j]
+		}
+	}
+	return c[len(c)/2]
+}
+
+func TestStreetsAreClustered(t *testing.T) {
+	// Street data should be clustered: the density inside the densest 10 %
+	// of the universe should far exceed the average density.
+	objs, _ := Generate("rea02", 8000, 9)
+	uni, _ := Universe("rea02")
+	cell := uni.Hi[0] / 10
+	counts := make(map[[2]int]int)
+	for _, o := range objs {
+		c := o.Center()
+		key := [2]int{int(c[0] / cell), int(c[1] / cell)}
+		counts[key]++
+	}
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	avg := float64(len(objs)) / 100
+	if float64(max) < 3*avg {
+		t.Errorf("street data not clustered enough: max cell %d vs avg %.0f", max, avg)
+	}
+	_ = geom.Rect{}
+}
+
+func BenchmarkGenerateAxons(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = Generate("axo03", 10000, int64(i))
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cbb/internal/rtree"
+)
+
+func TestRunTauSweep(t *testing.T) {
+	cfg := Config{Scale: 2500, Queries: 30, Seed: 7, SamplesPerNode: 64, Datasets: []string{"axo03"}}
+	res, err := RunTauSweep(cfg, []float64{0, 0.025, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("expected 3 rows, got %d", len(res.Rows))
+	}
+	// Larger τ keeps fewer clip points and therefore at most as many bytes;
+	// query I/O can only get worse (relative value can only rise).
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].ClipTableBytes > res.Rows[i-1].ClipTableBytes {
+			t.Errorf("clip table should shrink as tau grows: %+v -> %+v", res.Rows[i-1], res.Rows[i])
+		}
+		if res.Rows[i].AvgClipPoints > res.Rows[i-1].AvgClipPoints+1e-9 {
+			t.Errorf("clip points per node should not grow with tau")
+		}
+		if res.Rows[i].RelativeLeafIO+1e-9 < res.Rows[i-1].RelativeLeafIO-0.05 {
+			t.Errorf("query I/O should not improve when clip points are dropped: %+v -> %+v",
+				res.Rows[i-1], res.Rows[i])
+		}
+	}
+	for _, row := range res.Rows {
+		if row.RelativeLeafIO < 0 || row.RelativeLeafIO > 1.001 {
+			t.Errorf("relative leaf IO out of range: %+v", row)
+		}
+	}
+	if !strings.Contains(res.Table().String(), "tau") {
+		t.Error("table header missing")
+	}
+}
+
+func TestRunScoreApprox(t *testing.T) {
+	cfg := Config{Scale: 2000, Seed: 7, Datasets: []string{"par02"}, Variants: []rtree.Variant{rtree.RStar}}
+	res, err := RunScoreApprox(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("expected 1 row, got %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row.Nodes == 0 {
+		t.Fatal("no clipped nodes measured")
+	}
+	if row.MeanRelativeError < 0 || row.MeanRelativeError > 1.5 {
+		t.Errorf("implausible approximation error: %+v", row)
+	}
+	// The paper argues the approximation error is small; on box data it
+	// should stay well under 50 %.
+	if row.MeanRelativeError > 0.5 {
+		t.Errorf("approximation error unexpectedly large: %.2f", row.MeanRelativeError)
+	}
+	if !strings.Contains(res.Table().String(), "relative error") {
+		t.Error("table header missing")
+	}
+}
+
+func TestRunOrderingAblation(t *testing.T) {
+	cfg := Config{Scale: 2500, Queries: 40, Seed: 7, Datasets: []string{"axo03"}}
+	res, err := RunOrderingAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("expected 1 row, got %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row.OrderedChecks <= 0 || row.ReversedChecks <= 0 {
+		t.Fatalf("no dominance tests counted: %+v", row)
+	}
+	// Score-first ordering should never need more checks than worst-first
+	// (allowing a little noise because most nodes have few clip points).
+	if float64(row.OrderedChecks) > 1.05*float64(row.ReversedChecks) {
+		t.Errorf("score ordering used more checks (%d) than reversed (%d)", row.OrderedChecks, row.ReversedChecks)
+	}
+	if !strings.Contains(res.Table().String(), "score-ordered") {
+		t.Error("table header missing")
+	}
+}

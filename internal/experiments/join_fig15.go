@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"time"
+
+	"cbb/internal/core"
+	"cbb/internal/geom"
+	"cbb/internal/join"
+	"cbb/internal/querygen"
+	"cbb/internal/rtree"
+)
+
+// JoinRow is one cell of the spatial-join experiment: leaf I/O of one join
+// strategy with and without clipping for one R-tree variant.
+type JoinRow struct {
+	Strategy        string // "INLJ" or "STT"
+	Variant         string
+	Pairs           int64
+	UnclippedLeafIO int64
+	ClippedLeafIO   int64
+	Reduction       float64 // 1 − clipped/unclipped
+}
+
+// JoinResult reproduces the spatial-join evaluation (Section V-C, "Spatial
+// Join Performance"): axo03 ⋈ den03 with INLJ and STT across the four
+// variants.
+type JoinResult struct {
+	Rows []JoinRow
+}
+
+// RunJoin joins the axon and dendrite datasets (at the configured scale)
+// with both strategies, for every configured variant, with and without
+// stairline clipping.
+func RunJoin(cfg Config) (*JoinResult, error) {
+	cfg = cfg.WithDefaults()
+	left, err := cfg.LoadDataset("axo03")
+	if err != nil {
+		return nil, err
+	}
+	rightScale := cfg.Scale / 2 // den03 is roughly half the size of axo03 in the paper
+	if rightScale < 1 {
+		rightScale = cfg.Scale
+	}
+	rightCfg := cfg
+	rightCfg.Scale = rightScale
+	right, err := rightCfg.LoadDataset("den03")
+	if err != nil {
+		return nil, err
+	}
+	out := &JoinResult{}
+	for _, v := range cfg.Variants {
+		leftTree, _, err := BuildTree(left, v)
+		if err != nil {
+			return nil, err
+		}
+		rightTree, _, err := BuildTree(right, v)
+		if err != nil {
+			return nil, err
+		}
+		leftIdx, _, err := cfg.ClipTree(leftTree, core.MethodStairline)
+		if err != nil {
+			return nil, err
+		}
+		rightIdx, _, err := cfg.ClipTree(rightTree, core.MethodStairline)
+		if err != nil {
+			return nil, err
+		}
+
+		// INLJ: index the larger dataset (axo03), probe with every den03
+		// object.
+		plainINLJ, err := join.INLJ(leftTree, nil, right.Items, nil)
+		if err != nil {
+			return nil, err
+		}
+		clipINLJ, err := join.INLJ(leftTree, leftIdx, right.Items, nil)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, JoinRow{
+			Strategy: "INLJ", Variant: v.String(), Pairs: plainINLJ.Pairs,
+			UnclippedLeafIO: plainINLJ.IO.LeafReads, ClippedLeafIO: clipINLJ.IO.LeafReads,
+			Reduction: reduction(clipINLJ.IO.LeafReads, plainINLJ.IO.LeafReads),
+		})
+
+		// STT: both datasets indexed.
+		plainSTT, err := join.STT(leftTree, rightTree, nil, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		clipSTT, err := join.STT(leftTree, rightTree, leftIdx, rightIdx, nil)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, JoinRow{
+			Strategy: "STT", Variant: v.String(), Pairs: plainSTT.Pairs,
+			UnclippedLeafIO: plainSTT.IO.LeafReads, ClippedLeafIO: clipSTT.IO.LeafReads,
+			Reduction: reduction(clipSTT.IO.LeafReads, plainSTT.IO.LeafReads),
+		})
+	}
+	return out, nil
+}
+
+func reduction(clipped, unclipped int64) float64 {
+	if unclipped == 0 {
+		return 0
+	}
+	return 1 - float64(clipped)/float64(unclipped)
+}
+
+// Table renders the join experiment.
+func (r *JoinResult) Table() *Table {
+	t := NewTable("Spatial join (axo03 ⋈ den03): leaf accesses with and without CSTA clipping",
+		"strategy", "variant", "pairs", "unclipped", "clipped", "reduction")
+	for _, row := range r.Rows {
+		t.AddRow(row.Strategy, row.Variant, row.Pairs, row.UnclippedLeafIO, row.ClippedLeafIO, Pct(row.Reduction))
+	}
+	return t
+}
+
+// Fig15Row is one bar of Figure 15: average query wall time on the large
+// synthetic datasets for one (dataset, index, profile) combination.
+type Fig15Row struct {
+	Dataset  string
+	Index    string // "HR", "CSKY-HR", "CSTA-HR", "RR*", "CSKY-RR*", "CSTA-RR*"
+	Profile  string
+	AvgQuery time.Duration
+	LeafIO   int64
+}
+
+// Fig15Result reproduces Figure 15 (scalability) at a reduced scale.
+type Fig15Result struct {
+	Scale int
+	Rows  []Fig15Row
+}
+
+// RunFig15 runs the scalability experiment on par02 and par03 at the
+// configured scale (the paper uses 2^30 objects; the harness default is far
+// smaller so the experiment completes on a laptop, and the trends — CSTA
+// roughly twice as effective as CSKY, clipped HR-tree approaching the
+// unclipped RR*-tree — are what carries over).
+func RunFig15(cfg Config) (*Fig15Result, error) {
+	cfg = cfg.WithDefaults()
+	out := &Fig15Result{Scale: cfg.Scale}
+	for _, name := range []string{"par02", "par03"} {
+		ds, err := cfg.LoadDataset(name)
+		if err != nil {
+			return nil, err
+		}
+		queries, err := cfg.QuerySet(ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range []rtree.Variant{rtree.Hilbert, rtree.RRStar} {
+			tree, _, err := BuildTree(ds, v)
+			if err != nil {
+				return nil, err
+			}
+			idxSky, _, err := cfg.ClipTree(tree, core.MethodSkyline)
+			if err != nil {
+				return nil, err
+			}
+			idxSta, _, err := cfg.ClipTree(tree, core.MethodStairline)
+			if err != nil {
+				return nil, err
+			}
+			short := "HR"
+			if v == rtree.RRStar {
+				short = "RR*"
+			}
+			runs := []struct {
+				label  string
+				search func(geom.Rect)
+			}{
+				{short, func(q geom.Rect) { tree.Search(q, discard) }},
+				{"CSKY-" + short, func(q geom.Rect) { idxSky.Search(q, discard) }},
+				{"CSTA-" + short, func(q geom.Rect) { idxSta.Search(q, discard) }},
+			}
+			for _, p := range querygen.AllProfiles() {
+				qs := queries[p]
+				for _, run := range runs {
+					tree.Counter().Reset()
+					start := time.Now()
+					for _, q := range qs {
+						run.search(q)
+					}
+					elapsed := time.Since(start)
+					out.Rows = append(out.Rows, Fig15Row{
+						Dataset:  name,
+						Index:    run.label,
+						Profile:  p.String(),
+						AvgQuery: elapsed / time.Duration(len(qs)),
+						LeafIO:   tree.Counter().Snapshot().LeafReads,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func discard(rtree.ObjectID, geom.Rect) bool { return true }
+
+// Table renders Figure 15.
+func (r *Fig15Result) Table() *Table {
+	t := NewTable("Figure 15: query cost on the large synthetic datasets (scaled down)",
+		"dataset", "index", "profile", "avg query", "leaf reads")
+	for _, row := range r.Rows {
+		t.AddRow(row.Dataset, row.Index, row.Profile, row.AvgQuery.String(), row.LeafIO)
+	}
+	t.AddNote("scale: %d objects per dataset (the paper uses 2^30)", r.Scale)
+	return t
+}

@@ -1,0 +1,129 @@
+package geom
+
+// This file implements the oriented-dominance machinery of Section III of
+// the paper (Definitions 4 and 6). Dominance is always relative to a corner
+// bitmask b of an enclosing rectangle: p dominates q w.r.t. b when p is at
+// least as close to the corner R^b as q in every dimension and strictly
+// closer in at least one. Equivalently (and how it is used in Algorithm 2):
+// p ≺_b q iff p lies inside the MBB of {q, R^b} and p != q.
+
+// Dominates reports whether p dominates q with respect to corner b
+// (Definition 4). Bit i of b set means the corner maximises dimension i, so
+// "closer to the corner" in that dimension means "greater or equal".
+func Dominates(p, q Point, b Corner) bool {
+	allGE := true // p at least as close as q in every dimension
+	strict := false
+	for i := range p {
+		if b.Bit(i) {
+			// Corner maximises dimension i: closer means larger.
+			if p[i] < q[i] {
+				allGE = false
+				break
+			}
+			if p[i] > q[i] {
+				strict = true
+			}
+		} else {
+			// Corner minimises dimension i: closer means smaller.
+			if p[i] > q[i] {
+				allGE = false
+				break
+			}
+			if p[i] < q[i] {
+				strict = true
+			}
+		}
+	}
+	return allGE && strict
+}
+
+// DominatesEq reports whether p dominates-or-equals q with respect to corner
+// b, i.e. p is at least as close to the corner as q in every dimension
+// (ties allowed everywhere). Algorithm 2's pruning test uses this weak form:
+// if the query corner is at least as close to the MBB corner as the clip
+// point in every dimension, the query lies entirely in clipped dead space.
+func DominatesEq(p, q Point, b Corner) bool {
+	for i := range p {
+		if b.Bit(i) {
+			if p[i] < q[i] {
+				return false
+			}
+		} else {
+			if p[i] > q[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// StrictlyDominates reports whether p is strictly closer to corner R^b than
+// q in every dimension. This is the exact condition under which the open
+// interior of the corner rectangle spanned by q (the region q would clip
+// away) contains part of the axis-aligned object whose nearest corner to R^b
+// is p. It is therefore the test used both to validate generated splice
+// points and to decide whether a query/insert rectangle falls entirely into
+// clipped dead space: boundary contact never counts.
+func StrictlyDominates(p, q Point, b Corner) bool {
+	for i := range p {
+		if b.Bit(i) {
+			if p[i] <= q[i] {
+				return false
+			}
+		} else {
+			if p[i] >= q[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Splice returns the splice point b(p, q) of Definition 6: dimension i takes
+// max(p[i], q[i]) when bit i of b is set and min(p[i], q[i]) otherwise.
+// Splicing with mask ~b therefore produces the point between p and q that is
+// farthest from corner R^b, which is how stairline candidates are generated.
+func Splice(p, q Point, b Corner) Point {
+	r := make(Point, len(p))
+	for i := range p {
+		if b.Bit(i) {
+			if p[i] >= q[i] {
+				r[i] = p[i]
+			} else {
+				r[i] = q[i]
+			}
+		} else {
+			if p[i] <= q[i] {
+				r[i] = p[i]
+			} else {
+				r[i] = q[i]
+			}
+		}
+	}
+	return r
+}
+
+// CloserToCorner reports whether p is strictly closer to corner R^b than q
+// in dimension i (used by skyline sorting).
+func CloserToCorner(p, q Point, b Corner, i int) bool {
+	if b.Bit(i) {
+		return p[i] > q[i]
+	}
+	return p[i] < q[i]
+}
+
+// CornerDistance returns a monotone "distance from the corner" measure for
+// sorting candidate clip points: the L1 distance from p to the corner R^b of
+// rect. Larger values are farther from the corner and therefore clip more.
+func CornerDistance(rect Rect, p Point, b Corner) float64 {
+	c := rect.Corner(b)
+	var s float64
+	for i := range p {
+		d := p[i] - c[i]
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}

@@ -1,0 +1,324 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rect is an axis-aligned hyperrectangle <Lo, Hi> (the paper's <l, u>). Lo
+// holds the minimum extent and Hi the maximum extent in every dimension. A
+// degenerate rectangle with Lo == Hi represents a point object; rectangles
+// may be flat in any subset of dimensions (line segments, planes).
+type Rect struct {
+	Lo, Hi Point
+}
+
+// ErrInvalidRect is returned by constructors when the given extents do not
+// define a rectangle (mismatched dimensionality, Lo > Hi, or non-finite
+// coordinates).
+var ErrInvalidRect = errors.New("geom: invalid rectangle")
+
+// NewRect builds a rectangle from its minimum and maximum corner, validating
+// the input.
+func NewRect(lo, hi Point) (Rect, error) {
+	if len(lo) == 0 || len(lo) != len(hi) {
+		return Rect{}, fmt.Errorf("%w: dims %d vs %d", ErrInvalidRect, len(lo), len(hi))
+	}
+	for i := range lo {
+		if math.IsNaN(lo[i]) || math.IsNaN(hi[i]) || math.IsInf(lo[i], 0) || math.IsInf(hi[i], 0) {
+			return Rect{}, fmt.Errorf("%w: non-finite coordinate in dimension %d", ErrInvalidRect, i)
+		}
+		if lo[i] > hi[i] {
+			return Rect{}, fmt.Errorf("%w: lo[%d]=%g > hi[%d]=%g", ErrInvalidRect, i, lo[i], i, hi[i])
+		}
+	}
+	return Rect{Lo: lo.Clone(), Hi: hi.Clone()}, nil
+}
+
+// MustRect is NewRect that panics on invalid input; it is intended for
+// literals in tests and examples.
+func MustRect(lo, hi Point) Rect {
+	r, err := NewRect(lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// R is a compact constructor for tests: R(x1,y1, x2,y2) in 2d,
+// R(x1,y1,z1, x2,y2,z2) in 3d. It panics on invalid input.
+func R(coords ...float64) Rect {
+	if len(coords)%2 != 0 || len(coords) == 0 {
+		panic("geom: R requires an even, positive number of coordinates")
+	}
+	d := len(coords) / 2
+	return MustRect(Pt(coords[:d]...), Pt(coords[d:]...))
+}
+
+// PointRect returns the degenerate rectangle covering exactly the point p.
+func PointRect(p Point) Rect {
+	return Rect{Lo: p.Clone(), Hi: p.Clone()}
+}
+
+// Dims reports the dimensionality of r.
+func (r Rect) Dims() int { return len(r.Lo) }
+
+// IsZero reports whether r is the zero value (no extent set at all).
+func (r Rect) IsZero() bool { return len(r.Lo) == 0 && len(r.Hi) == 0 }
+
+// Valid reports whether r is a well-formed rectangle.
+func (r Rect) Valid() bool {
+	if len(r.Lo) == 0 || len(r.Lo) != len(r.Hi) {
+		return false
+	}
+	for i := range r.Lo {
+		if math.IsNaN(r.Lo[i]) || math.IsNaN(r.Hi[i]) ||
+			math.IsInf(r.Lo[i], 0) || math.IsInf(r.Hi[i], 0) ||
+			r.Lo[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of r.
+func (r Rect) Clone() Rect {
+	return Rect{Lo: r.Lo.Clone(), Hi: r.Hi.Clone()}
+}
+
+// Equal reports whether r and s describe the same rectangle.
+func (r Rect) Equal(s Rect) bool {
+	return r.Lo.Equal(s.Lo) && r.Hi.Equal(s.Hi)
+}
+
+// ApproxEqual reports whether r and s agree to within eps on every extent.
+func (r Rect) ApproxEqual(s Rect, eps float64) bool {
+	return r.Lo.ApproxEqual(s.Lo, eps) && r.Hi.ApproxEqual(s.Hi, eps)
+}
+
+// Corner returns the corner R^b of r identified by bitmask b: dimension i is
+// Hi[i] when bit i of b is set and Lo[i] otherwise.
+func (r Rect) Corner(b Corner) Point {
+	p := make(Point, len(r.Lo))
+	for i := range r.Lo {
+		if b.Bit(i) {
+			p[i] = r.Hi[i]
+		} else {
+			p[i] = r.Lo[i]
+		}
+	}
+	return p
+}
+
+// Center returns the centroid of r.
+func (r Rect) Center() Point {
+	c := make(Point, len(r.Lo))
+	for i := range r.Lo {
+		c[i] = (r.Lo[i] + r.Hi[i]) / 2
+	}
+	return c
+}
+
+// Side returns the extent of r along dimension i.
+func (r Rect) Side(i int) float64 { return r.Hi[i] - r.Lo[i] }
+
+// Volume returns the d-dimensional volume (area in 2d) of r. Degenerate
+// rectangles and the zero Rect have zero volume.
+func (r Rect) Volume() float64 {
+	if len(r.Lo) == 0 {
+		return 0
+	}
+	v := 1.0
+	for i := range r.Lo {
+		v *= r.Hi[i] - r.Lo[i]
+	}
+	return v
+}
+
+// Margin returns the sum of the side lengths of r (half the perimeter in 2d,
+// a quarter of the total edge length in 3d); this is the "margin" objective
+// used by the R*-tree split algorithm.
+func (r Rect) Margin() float64 {
+	var m float64
+	for i := range r.Lo {
+		m += r.Hi[i] - r.Lo[i]
+	}
+	return m
+}
+
+// ContainsPoint reports whether p lies inside r (boundaries inclusive).
+func (r Rect) ContainsPoint(p Point) bool {
+	for i := range r.Lo {
+		if p[i] < r.Lo[i] || p[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsRect reports whether s lies entirely inside r (boundaries
+// inclusive).
+func (r Rect) ContainsRect(s Rect) bool {
+	for i := range r.Lo {
+		if s.Lo[i] < r.Lo[i] || s.Hi[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether r and s share at least one point (touching
+// boundaries count as intersecting, as is conventional for MBB filtering).
+func (r Rect) Intersects(s Rect) bool {
+	for i := range r.Lo {
+		if r.Hi[i] < s.Lo[i] || s.Hi[i] < r.Lo[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersection returns the overlap rectangle of r and s and whether it is
+// non-empty. When the rectangles merely touch, the returned rectangle is
+// degenerate but ok is still true.
+func (r Rect) Intersection(s Rect) (Rect, bool) {
+	lo := make(Point, len(r.Lo))
+	hi := make(Point, len(r.Lo))
+	for i := range r.Lo {
+		lo[i] = math.Max(r.Lo[i], s.Lo[i])
+		hi[i] = math.Min(r.Hi[i], s.Hi[i])
+		if lo[i] > hi[i] {
+			return Rect{}, false
+		}
+	}
+	return Rect{Lo: lo, Hi: hi}, true
+}
+
+// OverlapVolume returns the volume of the intersection of r and s (zero when
+// they are disjoint or only touch).
+func (r Rect) OverlapVolume(s Rect) float64 {
+	v := 1.0
+	for i := range r.Lo {
+		lo := math.Max(r.Lo[i], s.Lo[i])
+		hi := math.Min(r.Hi[i], s.Hi[i])
+		if hi <= lo {
+			return 0
+		}
+		v *= hi - lo
+	}
+	return v
+}
+
+// Union returns the MBB of r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.IsZero() {
+		return s.Clone()
+	}
+	if s.IsZero() {
+		return r.Clone()
+	}
+	lo := make(Point, len(r.Lo))
+	hi := make(Point, len(r.Lo))
+	for i := range r.Lo {
+		lo[i] = math.Min(r.Lo[i], s.Lo[i])
+		hi[i] = math.Max(r.Hi[i], s.Hi[i])
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// UnionPoint returns the MBB of r and the point p.
+func (r Rect) UnionPoint(p Point) Rect {
+	if r.IsZero() {
+		return PointRect(p)
+	}
+	lo := make(Point, len(r.Lo))
+	hi := make(Point, len(r.Lo))
+	for i := range r.Lo {
+		lo[i] = math.Min(r.Lo[i], p[i])
+		hi[i] = math.Max(r.Hi[i], p[i])
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// Enlargement returns how much the volume of r grows when extended to also
+// cover s: Volume(r ∪ s) - Volume(r). This is the classic Guttman insertion
+// criterion.
+func (r Rect) Enlargement(s Rect) float64 {
+	return r.Union(s).Volume() - r.Volume()
+}
+
+// MarginEnlargement returns how much the margin of r grows when extended to
+// also cover s; the RR*-tree uses perimeter-based goals for degenerate
+// (zero-volume) rectangles.
+func (r Rect) MarginEnlargement(s Rect) float64 {
+	return r.Union(s).Margin() - r.Margin()
+}
+
+// MinDistSq returns the squared minimum distance from point p to rectangle r
+// (zero when p lies inside r). Used by nearest-neighbour style traversals.
+func (r Rect) MinDistSq(p Point) float64 {
+	var s float64
+	for i := range r.Lo {
+		switch {
+		case p[i] < r.Lo[i]:
+			d := r.Lo[i] - p[i]
+			s += d * d
+		case p[i] > r.Hi[i]:
+			d := p[i] - r.Hi[i]
+			s += d * d
+		}
+	}
+	return s
+}
+
+// CornerRect returns the rectangle spanned between point p and the corner
+// R^b of r, i.e. the MBB of {p, R^b}. Per Definition 2 of the paper this is
+// exactly the region that the clip point <p, b> would clip away.
+func (r Rect) CornerRect(p Point, b Corner) Rect {
+	c := r.Corner(b)
+	lo := p.Min(c)
+	hi := p.Max(c)
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// MBROf computes the minimum bounding box of a set of rectangles. It returns
+// the zero Rect for an empty input.
+func MBROf(rects []Rect) Rect {
+	var out Rect
+	for _, r := range rects {
+		out = out.Union(r)
+	}
+	return out
+}
+
+// MBROfPoints computes the minimum bounding box of a set of points. It
+// returns the zero Rect for an empty input.
+func MBROfPoints(pts []Point) Rect {
+	var out Rect
+	for _, p := range pts {
+		out = out.UnionPoint(p)
+	}
+	return out
+}
+
+// Expand returns r grown by delta on every side (shrunk when delta is
+// negative; extents collapse to the centre rather than inverting).
+func (r Rect) Expand(delta float64) Rect {
+	lo := make(Point, len(r.Lo))
+	hi := make(Point, len(r.Lo))
+	for i := range r.Lo {
+		lo[i] = r.Lo[i] - delta
+		hi[i] = r.Hi[i] + delta
+		if lo[i] > hi[i] {
+			mid := (r.Lo[i] + r.Hi[i]) / 2
+			lo[i], hi[i] = mid, mid
+		}
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// String renders r as "[lo -> hi]".
+func (r Rect) String() string {
+	return fmt.Sprintf("[%s -> %s]", r.Lo, r.Hi)
+}

@@ -1,0 +1,186 @@
+// Package hilbert implements the Hilbert space-filling curve in arbitrary
+// dimensionality, used by the Hilbert R-tree (HR-tree) variant to order
+// spatially-near objects before packing them into leaves.
+//
+// The implementation follows Skilling's transpose algorithm ("Programming
+// the Hilbert curve", AIP 2004): coordinates are mapped to a transposed
+// Hilbert representation with Gray-code untangling and then bit-interleaved
+// into a single integer index. Encode and Decode are exact inverses for all
+// coordinates smaller than 2^bits per dimension.
+package hilbert
+
+import (
+	"errors"
+	"fmt"
+
+	"cbb/internal/geom"
+)
+
+// MaxTotalBits is the largest index width supported (dims*bits must not
+// exceed it so that indices fit into a uint64).
+const MaxTotalBits = 63
+
+// Curve maps points in a fixed bounding universe to positions on a Hilbert
+// curve of a given order. It is safe for concurrent use.
+type Curve struct {
+	dims     int
+	bits     int
+	universe geom.Rect
+	scale    []float64
+}
+
+// New creates a curve of the given order (bits per dimension) over the given
+// universe rectangle. Points outside the universe are clamped onto it.
+func New(universe geom.Rect, bits int) (*Curve, error) {
+	dims := universe.Dims()
+	if dims < 1 {
+		return nil, errors.New("hilbert: universe must have at least one dimension")
+	}
+	if bits < 1 || dims*bits > MaxTotalBits {
+		return nil, fmt.Errorf("hilbert: dims*bits = %d exceeds %d", dims*bits, MaxTotalBits)
+	}
+	if !universe.Valid() {
+		return nil, errors.New("hilbert: invalid universe rectangle")
+	}
+	c := &Curve{dims: dims, bits: bits, universe: universe.Clone(), scale: make([]float64, dims)}
+	maxCell := float64(uint64(1)<<uint(bits) - 1)
+	for d := 0; d < dims; d++ {
+		side := universe.Hi[d] - universe.Lo[d]
+		if side <= 0 {
+			c.scale[d] = 0
+		} else {
+			c.scale[d] = maxCell / side
+		}
+	}
+	return c, nil
+}
+
+// Dims returns the dimensionality of the curve.
+func (c *Curve) Dims() int { return c.dims }
+
+// Bits returns the curve order (bits per dimension).
+func (c *Curve) Bits() int { return c.bits }
+
+// Index returns the Hilbert index of a point (clamped to the universe).
+func (c *Curve) Index(p geom.Point) uint64 {
+	coords := make([]uint32, c.dims)
+	for d := 0; d < c.dims; d++ {
+		v := p[d]
+		if v < c.universe.Lo[d] {
+			v = c.universe.Lo[d]
+		}
+		if v > c.universe.Hi[d] {
+			v = c.universe.Hi[d]
+		}
+		coords[d] = uint32((v - c.universe.Lo[d]) * c.scale[d])
+	}
+	return Encode(coords, c.bits)
+}
+
+// IndexRect returns the Hilbert index of the centre of a rectangle, which is
+// how the Hilbert R-tree orders data rectangles.
+func (c *Curve) IndexRect(r geom.Rect) uint64 {
+	return c.Index(r.Center())
+}
+
+// Encode converts discrete coordinates (each < 2^bits) into a Hilbert index.
+// The slice is not modified.
+func Encode(coords []uint32, bits int) uint64 {
+	n := len(coords)
+	x := make([]uint32, n)
+	copy(x, coords)
+	axesToTranspose(x, bits)
+	return interleave(x, bits)
+}
+
+// Decode converts a Hilbert index back into discrete coordinates, the exact
+// inverse of Encode.
+func Decode(index uint64, dims, bits int) []uint32 {
+	x := deinterleave(index, dims, bits)
+	transposeToAxes(x, bits)
+	return x
+}
+
+// axesToTranspose applies Skilling's in-place transformation from Cartesian
+// coordinates to the transposed Hilbert representation.
+func axesToTranspose(x []uint32, bits int) {
+	n := len(x)
+	m := uint32(1) << uint(bits-1)
+	// Inverse undo of the excess work done by transposeToAxes.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < n; i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < n; i++ {
+		x[i] ^= x[i-1]
+	}
+	var t uint32
+	for q := m; q > 1; q >>= 1 {
+		if x[n-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] ^= t
+	}
+}
+
+// transposeToAxes is the inverse of axesToTranspose.
+func transposeToAxes(x []uint32, bits int) {
+	n := len(x)
+	m := uint32(2) << uint(bits-1)
+	// Gray decode by H ^ (H/2).
+	t := x[n-1] >> 1
+	for i := n - 1; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+	// Undo excess work.
+	for q := uint32(2); q != m; q <<= 1 {
+		p := q - 1
+		for i := n - 1; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+}
+
+// interleave packs the transposed representation into a single index, most
+// significant bit of x[0] first.
+func interleave(x []uint32, bits int) uint64 {
+	n := len(x)
+	var out uint64
+	for b := bits - 1; b >= 0; b-- {
+		for i := 0; i < n; i++ {
+			out = (out << 1) | uint64((x[i]>>uint(b))&1)
+		}
+	}
+	return out
+}
+
+// deinterleave is the inverse of interleave.
+func deinterleave(index uint64, dims, bits int) []uint32 {
+	x := make([]uint32, dims)
+	pos := dims*bits - 1
+	for b := bits - 1; b >= 0; b-- {
+		for i := 0; i < dims; i++ {
+			x[i] |= uint32((index>>uint(pos))&1) << uint(b)
+			pos--
+		}
+	}
+	return x
+}

@@ -1,0 +1,277 @@
+// Package join implements the two spatial-join strategies evaluated in the
+// paper: the Index Nested Loop Join (INLJ), used when only one input is
+// indexed, and the Synchronised Tree Traversal (STT) of Brinkhoff et al.,
+// used when both inputs are indexed. Both strategies run with or without
+// clipped bounding boxes; with clipping, a child node is skipped when the
+// probe rectangle (INLJ) or the partner subtree's MBB (STT) lies entirely in
+// the child's clipped dead space.
+package join
+
+import (
+	"errors"
+
+	"cbb/internal/clipindex"
+	"cbb/internal/core"
+	"cbb/internal/geom"
+	"cbb/internal/rtree"
+	"cbb/internal/storage"
+)
+
+// Pair is one result of a spatial join: two object ids whose rectangles
+// intersect.
+type Pair struct {
+	Left  rtree.ObjectID
+	Right rtree.ObjectID
+}
+
+// Result summarises a join run.
+type Result struct {
+	// Pairs is the number of intersecting pairs found.
+	Pairs int64
+	// IO is the node-access delta incurred by the join (leaf and directory
+	// reads across all participating trees).
+	IO storage.Snapshot
+}
+
+// INLJ performs an index nested loop join: every probe rectangle is run as a
+// range query against the indexed (and optionally clipped) input. When idx
+// is nil the plain tree is probed; otherwise the clipped search path is
+// used. The visit callback is optional.
+func INLJ(tree *rtree.Tree, idx *clipindex.Index, probes []rtree.Item, visit func(Pair)) (Result, error) {
+	if tree == nil {
+		return Result{}, errors.New("join: INLJ requires an indexed input")
+	}
+	if idx != nil && idx.Tree() != tree {
+		return Result{}, errors.New("join: clip index does not belong to the probed tree")
+	}
+	counter := tree.Counter()
+	before := counter.Snapshot()
+	var pairs int64
+	for _, probe := range probes {
+		emit := func(id rtree.ObjectID, _ geom.Rect) bool {
+			pairs++
+			if visit != nil {
+				visit(Pair{Left: id, Right: probe.Object})
+			}
+			return true
+		}
+		if idx != nil {
+			idx.Search(probe.Rect, emit)
+		} else {
+			tree.Search(probe.Rect, emit)
+		}
+	}
+	return Result{Pairs: pairs, IO: storage.Diff(before, counter.Snapshot())}, nil
+}
+
+// STT performs a synchronised tree traversal join of two indexed inputs.
+// When clip indexes are provided (either may be nil), the traversal applies
+// the dominance tests of Algorithm 2 in both directions before descending
+// into a pair of subtrees: a subtree pair is pruned when either side's
+// overlap with the other's MBB lies entirely in clipped dead space.
+//
+// Both trees must use distinct I/O counters or the same counter; the
+// reported IO is the sum of the deltas of both counters (counted once if
+// shared).
+func STT(left, right *rtree.Tree, leftIdx, rightIdx *clipindex.Index, visit func(Pair)) (Result, error) {
+	if left == nil || right == nil {
+		return Result{}, errors.New("join: STT requires two indexed inputs")
+	}
+	if left.Dims() != right.Dims() {
+		return Result{}, errors.New("join: dimensionality mismatch")
+	}
+	if leftIdx != nil && leftIdx.Tree() != left {
+		return Result{}, errors.New("join: left clip index does not belong to the left tree")
+	}
+	if rightIdx != nil && rightIdx.Tree() != right {
+		return Result{}, errors.New("join: right clip index does not belong to the right tree")
+	}
+	lb := left.Counter().Snapshot()
+	var rb storage.Snapshot
+	shared := left.Counter() == right.Counter()
+	if !shared {
+		rb = right.Counter().Snapshot()
+	}
+
+	j := &sttJoiner{
+		left: left, right: right,
+		leftClips:  tableOrNil(leftIdx),
+		rightClips: tableOrNil(rightIdx),
+		visit:      visit,
+	}
+	if left.RootID() != rtree.InvalidNode && right.RootID() != rtree.InvalidNode {
+		j.joinNodes(left.RootID(), right.RootID())
+	}
+
+	io := storage.Diff(lb, left.Counter().Snapshot())
+	if !shared {
+		rio := storage.Diff(rb, right.Counter().Snapshot())
+		io.LeafReads += rio.LeafReads
+		io.DirReads += rio.DirReads
+		io.Writes += rio.Writes
+		io.Reclips += rio.Reclips
+	}
+	return Result{Pairs: j.pairs, IO: io}, nil
+}
+
+func tableOrNil(idx *clipindex.Index) clipindex.Table {
+	if idx == nil {
+		return nil
+	}
+	return idx.Table()
+}
+
+type sttJoiner struct {
+	left, right           *rtree.Tree
+	leftClips, rightClips clipindex.Table
+	visit                 func(Pair)
+	pairs                 int64
+}
+
+// admissible applies the clipped intersection test in both directions for a
+// candidate pair of node MBBs: the pair survives only if neither side's
+// clipped bounding box certifies the other's MBB as dead space.
+func (j *sttJoiner) admissible(leftID rtree.NodeID, leftMBB geom.Rect, rightID rtree.NodeID, rightMBB geom.Rect) bool {
+	if !leftMBB.Intersects(rightMBB) {
+		return false
+	}
+	if clips := j.leftClips[leftID]; len(clips) > 0 {
+		if !core.Intersects(leftMBB, clips, rightMBB, core.SelectorQuery) {
+			return false
+		}
+	}
+	if clips := j.rightClips[rightID]; len(clips) > 0 {
+		if !core.Intersects(rightMBB, clips, leftMBB, core.SelectorQuery) {
+			return false
+		}
+	}
+	return true
+}
+
+func (j *sttJoiner) joinNodes(leftID, rightID rtree.NodeID) {
+	linfo, err := j.left.Node(leftID)
+	if err != nil {
+		return
+	}
+	rinfo, err := j.right.Node(rightID)
+	if err != nil {
+		return
+	}
+	j.chargeRead(j.left, linfo)
+	j.chargeRead(j.right, rinfo)
+
+	switch {
+	case linfo.Leaf && rinfo.Leaf:
+		for i := range linfo.Children {
+			for k := range rinfo.Children {
+				if linfo.Children[i].Rect.Intersects(rinfo.Children[k].Rect) {
+					j.pairs++
+					if j.visit != nil {
+						j.visit(Pair{Left: linfo.Children[i].Object, Right: rinfo.Children[k].Object})
+					}
+				}
+			}
+		}
+	case linfo.Leaf:
+		// Descend only the right tree.
+		for k := range rinfo.Children {
+			child := rinfo.Children[k]
+			if j.admissible(linfo.ID, linfo.MBB, child.Child, child.Rect) {
+				j.joinLeafWithNode(linfo, j.right, child.Child, j.rightClips)
+			}
+		}
+	case rinfo.Leaf:
+		for i := range linfo.Children {
+			child := linfo.Children[i]
+			if j.admissible(child.Child, child.Rect, rinfo.ID, rinfo.MBB) {
+				j.joinNodeWithLeaf(j.left, child.Child, j.leftClips, rinfo)
+			}
+		}
+	default:
+		for i := range linfo.Children {
+			for k := range rinfo.Children {
+				lc, rc := linfo.Children[i], rinfo.Children[k]
+				if j.admissible(lc.Child, lc.Rect, rc.Child, rc.Rect) {
+					j.joinNodes(lc.Child, rc.Child)
+				}
+			}
+		}
+	}
+}
+
+// joinLeafWithNode joins an already-loaded leaf with a (possibly deeper)
+// subtree of the other tree.
+func (j *sttJoiner) joinLeafWithNode(leaf rtree.NodeInfo, other *rtree.Tree, otherID rtree.NodeID, otherClips clipindex.Table) {
+	oinfo, err := other.Node(otherID)
+	if err != nil {
+		return
+	}
+	j.chargeRead(other, oinfo)
+	if oinfo.Leaf {
+		for i := range leaf.Children {
+			for k := range oinfo.Children {
+				if leaf.Children[i].Rect.Intersects(oinfo.Children[k].Rect) {
+					j.pairs++
+					if j.visit != nil {
+						j.visit(Pair{Left: leaf.Children[i].Object, Right: oinfo.Children[k].Object})
+					}
+				}
+			}
+		}
+		return
+	}
+	for k := range oinfo.Children {
+		child := oinfo.Children[k]
+		if !leaf.MBB.Intersects(child.Rect) {
+			continue
+		}
+		if clips := otherClips[child.Child]; len(clips) > 0 {
+			if !core.Intersects(child.Rect, clips, leaf.MBB, core.SelectorQuery) {
+				continue
+			}
+		}
+		j.joinLeafWithNode(leaf, other, child.Child, otherClips)
+	}
+}
+
+// joinNodeWithLeaf mirrors joinLeafWithNode with the leaf on the right.
+func (j *sttJoiner) joinNodeWithLeaf(other *rtree.Tree, otherID rtree.NodeID, otherClips clipindex.Table, leaf rtree.NodeInfo) {
+	oinfo, err := other.Node(otherID)
+	if err != nil {
+		return
+	}
+	j.chargeRead(other, oinfo)
+	if oinfo.Leaf {
+		for i := range oinfo.Children {
+			for k := range leaf.Children {
+				if oinfo.Children[i].Rect.Intersects(leaf.Children[k].Rect) {
+					j.pairs++
+					if j.visit != nil {
+						j.visit(Pair{Left: oinfo.Children[i].Object, Right: leaf.Children[k].Object})
+					}
+				}
+			}
+		}
+		return
+	}
+	for i := range oinfo.Children {
+		child := oinfo.Children[i]
+		if !child.Rect.Intersects(leaf.MBB) {
+			continue
+		}
+		if clips := otherClips[child.Child]; len(clips) > 0 {
+			if !core.Intersects(child.Rect, clips, leaf.MBB, core.SelectorQuery) {
+				continue
+			}
+		}
+		j.joinNodeWithLeaf(other, child.Child, otherClips, leaf)
+	}
+}
+
+func (j *sttJoiner) chargeRead(t *rtree.Tree, info rtree.NodeInfo) {
+	if info.Leaf {
+		t.Counter().LeafRead(1)
+	} else {
+		t.Counter().DirRead(1)
+	}
+}

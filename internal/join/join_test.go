@@ -1,0 +1,207 @@
+package join
+
+import (
+	"testing"
+
+	"cbb/internal/clipindex"
+	"cbb/internal/core"
+	"cbb/internal/datasets"
+	"cbb/internal/rtree"
+)
+
+func buildIndexed(t testing.TB, name string, n int, seed int64, variant rtree.Variant) (*rtree.Tree, []rtree.Item) {
+	t.Helper()
+	objs, err := datasets.Generate(name, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := datasets.Lookup(name)
+	uni, _ := datasets.Universe(name)
+	cfg := rtree.Config{Dims: spec.Dims, MaxEntries: 16, MinEntries: 6, Variant: variant, Universe: uni}
+	tree := rtree.MustNew(cfg)
+	items := make([]rtree.Item, len(objs))
+	for i, o := range objs {
+		items[i] = rtree.Item{Object: rtree.ObjectID(i), Rect: o}
+	}
+	if err := tree.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	return tree, items
+}
+
+func bruteForcePairs(a, b []rtree.Item) int64 {
+	var n int64
+	for _, x := range a {
+		for _, y := range b {
+			if x.Rect.Intersects(y.Rect) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestINLJMatchesBruteForce(t *testing.T) {
+	left, leftItems := buildIndexed(t, "axo03", 1500, 1, rtree.RStar)
+	_, rightItems := buildIndexed(t, "den03", 800, 2, rtree.RStar)
+	want := bruteForcePairs(leftItems, rightItems)
+
+	plain, err := INLJ(left, nil, rightItems, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Pairs != want {
+		t.Fatalf("unclipped INLJ found %d pairs, want %d", plain.Pairs, want)
+	}
+
+	idx, err := clipindex.New(left, core.DefaultParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clipped, err := INLJ(left, idx, rightItems, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clipped.Pairs != want {
+		t.Fatalf("clipped INLJ found %d pairs, want %d", clipped.Pairs, want)
+	}
+	if clipped.IO.LeafReads > plain.IO.LeafReads {
+		t.Errorf("clipping increased INLJ leaf I/O: %d > %d", clipped.IO.LeafReads, plain.IO.LeafReads)
+	}
+	t.Logf("INLJ leaf reads: unclipped %d, clipped %d", plain.IO.LeafReads, clipped.IO.LeafReads)
+}
+
+func TestINLJErrors(t *testing.T) {
+	if _, err := INLJ(nil, nil, nil, nil); err == nil {
+		t.Error("nil tree must be rejected")
+	}
+	left, _ := buildIndexed(t, "axo03", 200, 3, rtree.Quadratic)
+	other, _ := buildIndexed(t, "den03", 200, 4, rtree.Quadratic)
+	otherIdx, _ := clipindex.New(other, core.DefaultParams(3))
+	if _, err := INLJ(left, otherIdx, nil, nil); err == nil {
+		t.Error("mismatched clip index must be rejected")
+	}
+}
+
+func TestINLJVisitCallback(t *testing.T) {
+	left, leftItems := buildIndexed(t, "par02", 500, 5, rtree.RRStar)
+	probes := leftItems[:50]
+	var seen int
+	res, err := INLJ(left, nil, probes, func(Pair) { seen++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(seen) != res.Pairs {
+		t.Errorf("visit callback saw %d pairs, result says %d", seen, res.Pairs)
+	}
+	if res.Pairs < int64(len(probes)) {
+		t.Error("every probe should at least join with itself")
+	}
+}
+
+func TestSTTMatchesBruteForce(t *testing.T) {
+	for _, variant := range []rtree.Variant{rtree.Quadratic, rtree.RStar} {
+		left, leftItems := buildIndexed(t, "axo03", 1200, 6, variant)
+		right, rightItems := buildIndexed(t, "den03", 700, 7, variant)
+		want := bruteForcePairs(leftItems, rightItems)
+
+		plain, err := STT(left, right, nil, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Pairs != want {
+			t.Fatalf("%v: unclipped STT found %d pairs, want %d", variant, plain.Pairs, want)
+		}
+
+		leftIdx, _ := clipindex.New(left, core.DefaultParams(3))
+		rightIdx, _ := clipindex.New(right, core.DefaultParams(3))
+		clipped, err := STT(left, right, leftIdx, rightIdx, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clipped.Pairs != want {
+			t.Fatalf("%v: clipped STT found %d pairs, want %d", variant, clipped.Pairs, want)
+		}
+		if clipped.IO.LeafReads > plain.IO.LeafReads {
+			t.Errorf("%v: clipping increased STT leaf I/O: %d > %d", variant, clipped.IO.LeafReads, plain.IO.LeafReads)
+		}
+		t.Logf("%v STT leaf reads: unclipped %d, clipped %d", variant, plain.IO.LeafReads, clipped.IO.LeafReads)
+	}
+}
+
+func TestSTTIsCheaperThanINLJ(t *testing.T) {
+	// The paper observes that STT incurs far fewer accesses than INLJ.
+	left, _ := buildIndexed(t, "axo03", 2000, 8, rtree.RRStar)
+	right, rightItems := buildIndexed(t, "den03", 1000, 9, rtree.RRStar)
+	inlj, err := INLJ(left, nil, rightItems, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stt, err := STT(left, right, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stt.Pairs != inlj.Pairs {
+		t.Fatalf("join strategies disagree: %d vs %d", stt.Pairs, inlj.Pairs)
+	}
+	if stt.IO.Total() >= inlj.IO.Total() {
+		t.Errorf("STT (%d accesses) should be cheaper than INLJ (%d)", stt.IO.Total(), inlj.IO.Total())
+	}
+}
+
+func TestSTTErrors(t *testing.T) {
+	left, _ := buildIndexed(t, "axo03", 200, 10, rtree.Quadratic)
+	right2d, _ := buildIndexed(t, "par02", 200, 11, rtree.Quadratic)
+	if _, err := STT(nil, left, nil, nil, nil); err == nil {
+		t.Error("nil tree must be rejected")
+	}
+	if _, err := STT(left, right2d, nil, nil, nil); err == nil {
+		t.Error("dimensionality mismatch must be rejected")
+	}
+	otherIdx, _ := clipindex.New(right2d, core.DefaultParams(2))
+	right3d, _ := buildIndexed(t, "den03", 200, 12, rtree.Quadratic)
+	if _, err := STT(left, right3d, otherIdx, nil, nil); err == nil {
+		t.Error("mismatched left clip index must be rejected")
+	}
+	if _, err := STT(left, right3d, nil, otherIdx, nil); err == nil {
+		t.Error("mismatched right clip index must be rejected")
+	}
+}
+
+func TestSTTEmptyTrees(t *testing.T) {
+	empty := rtree.MustNew(rtree.DefaultConfig(3, rtree.Quadratic))
+	left, _ := buildIndexed(t, "axo03", 100, 13, rtree.Quadratic)
+	res, err := STT(left, empty, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs != 0 {
+		t.Error("join with an empty tree should produce no pairs")
+	}
+}
+
+func TestSTTSharedCounter(t *testing.T) {
+	left, _ := buildIndexed(t, "axo03", 600, 14, rtree.RStar)
+	right, _ := buildIndexed(t, "den03", 400, 15, rtree.RStar)
+	// Share one counter across both trees; IO must not be double-counted.
+	right.SetCounter(left.Counter())
+	res, err := STT(left, right, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IO.LeafReads <= 0 {
+		t.Error("shared-counter join should still report I/O")
+	}
+}
+
+func BenchmarkSTTJoin(b *testing.B) {
+	left, _ := buildIndexed(b, "axo03", 3000, 1, rtree.RRStar)
+	right, _ := buildIndexed(b, "den03", 1500, 2, rtree.RRStar)
+	leftIdx, _ := clipindex.New(left, core.DefaultParams(3))
+	rightIdx, _ := clipindex.New(right, core.DefaultParams(3))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = STT(left, right, leftIdx, rightIdx, nil)
+	}
+}

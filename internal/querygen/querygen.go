@@ -1,0 +1,264 @@
+// Package querygen generates the range-query workloads of the paper's
+// benchmark: hypercubic query windows centred at dithered object centres (so
+// dense regions are queried most), sized to hit a target result cardinality.
+// Three standard profiles are provided — QR0, QR1 and QR2 — retrieving
+// approximately 1, 10 and 100 objects per query respectively.
+package querygen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cbb/internal/geom"
+)
+
+// Profile identifies a query-selectivity profile.
+type Profile int
+
+// The three selectivity profiles of the benchmark.
+const (
+	// QR0 retrieves roughly one object per query (high selectivity).
+	QR0 Profile = iota
+	// QR1 retrieves roughly ten objects per query (medium selectivity).
+	QR1
+	// QR2 retrieves roughly one hundred objects per query (low selectivity).
+	QR2
+)
+
+// String names the profile as in the paper.
+func (p Profile) String() string {
+	switch p {
+	case QR0:
+		return "QR0"
+	case QR1:
+		return "QR1"
+	case QR2:
+		return "QR2"
+	default:
+		return fmt.Sprintf("Profile(%d)", int(p))
+	}
+}
+
+// Target returns the approximate number of objects a query of this profile
+// should retrieve.
+func (p Profile) Target() int {
+	switch p {
+	case QR0:
+		return 1
+	case QR1:
+		return 10
+	case QR2:
+		return 100
+	default:
+		return 1
+	}
+}
+
+// AllProfiles lists QR0, QR1, QR2 in order.
+func AllProfiles() []Profile { return []Profile{QR0, QR1, QR2} }
+
+// Generator produces query rectangles over a fixed object set. It builds a
+// coarse grid histogram of object centres once, then calibrates each query
+// window's side length so the estimated number of intersected objects is
+// close to the profile's target.
+type Generator struct {
+	objects  []geom.Rect
+	universe geom.Rect
+	dims     int
+	grid     *gridHistogram
+	rng      *rand.Rand
+}
+
+// New creates a generator over the given objects. The universe must contain
+// all objects; the seed makes the workload reproducible.
+func New(objects []geom.Rect, universe geom.Rect, seed int64) (*Generator, error) {
+	if len(objects) == 0 {
+		return nil, errors.New("querygen: need at least one object")
+	}
+	if !universe.Valid() || universe.Dims() != objects[0].Dims() {
+		return nil, errors.New("querygen: invalid universe")
+	}
+	dims := objects[0].Dims()
+	g := &Generator{
+		objects:  objects,
+		universe: universe.Clone(),
+		dims:     dims,
+		grid:     newGridHistogram(objects, universe),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	return g, nil
+}
+
+// Queries produces count query windows of the given profile.
+func (g *Generator) Queries(p Profile, count int) []geom.Rect {
+	out := make([]geom.Rect, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, g.Query(p))
+	}
+	return out
+}
+
+// Query produces a single query window of the given profile: a hypercube
+// centred at a dithered object centre with a side length calibrated against
+// the local object density.
+func (g *Generator) Query(p Profile) geom.Rect {
+	target := p.Target()
+	// Pick a random object and dither its centre by a fraction of its size.
+	obj := g.objects[g.rng.Intn(len(g.objects))]
+	centre := obj.Center()
+	for d := 0; d < g.dims; d++ {
+		span := obj.Side(d) + 1
+		centre[d] += (g.rng.Float64() - 0.5) * span
+		centre[d] = clamp(centre[d], g.universe.Lo[d], g.universe.Hi[d])
+	}
+	side := g.calibrateSide(centre, target)
+	return g.window(centre, side)
+}
+
+// calibrateSide binary-searches the window side length so that the grid
+// estimate of intersected objects is close to the target.
+func (g *Generator) calibrateSide(centre geom.Point, target int) float64 {
+	maxSide := g.universe.Side(0)
+	for d := 1; d < g.dims; d++ {
+		if s := g.universe.Side(d); s > maxSide {
+			maxSide = s
+		}
+	}
+	lo, hi := maxSide*1e-6, maxSide
+	for iter := 0; iter < 24; iter++ {
+		mid := math.Sqrt(lo * hi) // geometric midpoint: sides span decades
+		est := g.grid.estimate(g.window(centre, mid))
+		if est < float64(target) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Sqrt(lo * hi)
+}
+
+// window builds a hypercubic window of the given side centred at centre,
+// clamped to the universe.
+func (g *Generator) window(centre geom.Point, side float64) geom.Rect {
+	lo := make(geom.Point, g.dims)
+	hi := make(geom.Point, g.dims)
+	for d := 0; d < g.dims; d++ {
+		lo[d] = clamp(centre[d]-side/2, g.universe.Lo[d], g.universe.Hi[d])
+		hi[d] = clamp(centre[d]+side/2, g.universe.Lo[d], g.universe.Hi[d])
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// --- density estimation --------------------------------------------------------
+
+// gridHistogram is a coarse uniform grid over object centres used to
+// estimate how many objects a window intersects without scanning the whole
+// dataset for every calibration step.
+type gridHistogram struct {
+	universe geom.Rect
+	dims     int
+	cells    int // cells per dimension
+	counts   []int
+	total    int
+}
+
+func newGridHistogram(objects []geom.Rect, universe geom.Rect) *gridHistogram {
+	dims := universe.Dims()
+	// Aim for ~8 objects per occupied cell on average.
+	cells := int(math.Ceil(math.Pow(float64(len(objects))/8.0, 1.0/float64(dims))))
+	if cells < 4 {
+		cells = 4
+	}
+	if cells > 256 {
+		cells = 256
+	}
+	size := 1
+	for d := 0; d < dims; d++ {
+		size *= cells
+	}
+	h := &gridHistogram{universe: universe, dims: dims, cells: cells, counts: make([]int, size), total: len(objects)}
+	for _, o := range objects {
+		h.counts[h.cellIndex(o.Center())]++
+	}
+	return h
+}
+
+func (h *gridHistogram) cellCoord(v float64, d int) int {
+	span := h.universe.Side(d)
+	if span <= 0 {
+		return 0
+	}
+	c := int((v - h.universe.Lo[d]) / span * float64(h.cells))
+	if c < 0 {
+		c = 0
+	}
+	if c >= h.cells {
+		c = h.cells - 1
+	}
+	return c
+}
+
+func (h *gridHistogram) cellIndex(p geom.Point) int {
+	idx := 0
+	for d := 0; d < h.dims; d++ {
+		idx = idx*h.cells + h.cellCoord(p[d], d)
+	}
+	return idx
+}
+
+// estimate returns the approximate number of object centres inside the
+// window: full counts of fully covered cells plus fractional counts of
+// partially covered boundary cells.
+func (h *gridHistogram) estimate(q geom.Rect) float64 {
+	loCell := make([]int, h.dims)
+	hiCell := make([]int, h.dims)
+	for d := 0; d < h.dims; d++ {
+		loCell[d] = h.cellCoord(q.Lo[d], d)
+		hiCell[d] = h.cellCoord(q.Hi[d], d)
+	}
+	var total float64
+	idx := make([]int, h.dims)
+	var walk func(d int, frac float64)
+	walk = func(d int, frac float64) {
+		if d == h.dims {
+			flat := 0
+			for i := 0; i < h.dims; i++ {
+				flat = flat*h.cells + idx[i]
+			}
+			total += frac * float64(h.counts[flat])
+			return
+		}
+		for c := loCell[d]; c <= hiCell[d]; c++ {
+			idx[d] = c
+			cellLo := h.universe.Lo[d] + float64(c)/float64(h.cells)*h.universe.Side(d)
+			cellHi := h.universe.Lo[d] + float64(c+1)/float64(h.cells)*h.universe.Side(d)
+			overlap := math.Min(q.Hi[d], cellHi) - math.Max(q.Lo[d], cellLo)
+			width := cellHi - cellLo
+			f := 1.0
+			if width > 0 {
+				f = overlap / width
+				if f < 0 {
+					f = 0
+				}
+				if f > 1 {
+					f = 1
+				}
+			}
+			walk(d+1, frac*f)
+		}
+	}
+	walk(0, 1)
+	return total
+}

@@ -1,0 +1,142 @@
+package querygen
+
+import (
+	"math"
+	"testing"
+
+	"cbb/internal/datasets"
+	"cbb/internal/geom"
+)
+
+func TestProfileBasics(t *testing.T) {
+	if QR0.String() != "QR0" || QR1.String() != "QR1" || QR2.String() != "QR2" {
+		t.Error("profile names wrong")
+	}
+	if Profile(9).String() == "" {
+		t.Error("unknown profile should render")
+	}
+	if QR0.Target() != 1 || QR1.Target() != 10 || QR2.Target() != 100 {
+		t.Error("profile targets wrong")
+	}
+	if Profile(9).Target() != 1 {
+		t.Error("unknown profile should default to 1")
+	}
+	if len(AllProfiles()) != 3 {
+		t.Error("AllProfiles should list QR0..QR2")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, geom.R(0, 0, 1, 1), 1); err == nil {
+		t.Error("no objects should error")
+	}
+	objs := []geom.Rect{geom.R(0, 0, 1, 1)}
+	if _, err := New(objs, geom.Rect{}, 1); err == nil {
+		t.Error("invalid universe should error")
+	}
+	if _, err := New(objs, geom.R(0, 0, 0, 1, 1, 1), 1); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestQueriesStayInUniverse(t *testing.T) {
+	objs, _ := datasets.Generate("par02", 5000, 1)
+	uni, _ := datasets.Universe("par02")
+	g, err := New(objs, uni, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range AllProfiles() {
+		for _, q := range g.Queries(p, 100) {
+			if !q.Valid() || !uni.ContainsRect(q) {
+				t.Fatalf("query %v escapes universe", q)
+			}
+		}
+	}
+}
+
+func TestQueriesDeterministic(t *testing.T) {
+	objs, _ := datasets.Generate("rea02", 3000, 2)
+	uni, _ := datasets.Universe("rea02")
+	a, _ := New(objs, uni, 11)
+	b, _ := New(objs, uni, 11)
+	qa := a.Queries(QR1, 50)
+	qb := b.Queries(QR1, 50)
+	for i := range qa {
+		if !qa[i].Equal(qb[i]) {
+			t.Fatalf("same seed produced different query %d", i)
+		}
+	}
+}
+
+// The central property: the three profiles actually produce increasing
+// result cardinalities in the right ballparks when evaluated exactly.
+func TestSelectivityCalibration(t *testing.T) {
+	for _, name := range []string{"par02", "rea02", "axo03"} {
+		t.Run(name, func(t *testing.T) {
+			objs, _ := datasets.Generate(name, 20000, 3)
+			uni, _ := datasets.Universe(name)
+			g, err := New(objs, uni, 13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			avg := func(p Profile) float64 {
+				queries := g.Queries(p, 60)
+				total := 0
+				for _, q := range queries {
+					for _, o := range objs {
+						if o.Intersects(q) {
+							total++
+						}
+					}
+				}
+				return float64(total) / float64(len(queries))
+			}
+			a0, a1, a2 := avg(QR0), avg(QR1), avg(QR2)
+			t.Logf("%s: QR0=%.1f QR1=%.1f QR2=%.1f", name, a0, a1, a2)
+			if !(a0 < a1 && a1 < a2) {
+				t.Fatalf("selectivities not ordered: %.1f %.1f %.1f", a0, a1, a2)
+			}
+			// Calibration is approximate (grid-estimated, objects larger
+			// than points); accept a generous band around the targets.
+			if a1 < 2 || a1 > 80 {
+				t.Errorf("QR1 average %.1f too far from target 10", a1)
+			}
+			if a2 < 25 || a2 > 800 {
+				t.Errorf("QR2 average %.1f too far from target 100", a2)
+			}
+		})
+	}
+}
+
+func TestGridHistogramEstimate(t *testing.T) {
+	// A uniform grid of points: the estimate for a window covering a quarter
+	// of the universe should be ~25 % of the objects.
+	var objs []geom.Rect
+	for x := 0; x < 40; x++ {
+		for y := 0; y < 40; y++ {
+			objs = append(objs, geom.PointRect(geom.Pt(float64(x)*25+12, float64(y)*25+12)))
+		}
+	}
+	uni := geom.R(0, 0, 1000, 1000)
+	h := newGridHistogram(objs, uni)
+	est := h.estimate(geom.R(0, 0, 500, 500))
+	if math.Abs(est-400) > 60 {
+		t.Errorf("quarter-window estimate %.0f, want ~400", est)
+	}
+	full := h.estimate(uni)
+	if math.Abs(full-1600) > 1 {
+		t.Errorf("full-window estimate %.0f, want 1600", full)
+	}
+}
+
+func BenchmarkQueryGeneration(b *testing.B) {
+	objs, _ := datasets.Generate("par02", 20000, 1)
+	uni, _ := datasets.Universe("par02")
+	g, _ := New(objs, uni, 1)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Query(QR1)
+	}
+}

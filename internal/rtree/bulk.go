@@ -1,0 +1,185 @@
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cbb/internal/geom"
+	"cbb/internal/hilbert"
+)
+
+// Item is an (object id, rectangle) pair for bulk loading.
+type Item struct {
+	Object ObjectID
+	Rect   geom.Rect
+}
+
+// BulkLoad builds the tree from scratch out of the given items using the
+// loading strategy natural to the variant: Hilbert-order packing for the
+// HR-tree (its defining construction) and Sort-Tile-Recursive packing for
+// the other variants when bulk loading is explicitly requested. The tree
+// must be empty.
+func (t *Tree) BulkLoad(items []Item) error {
+	if t.size != 0 || t.root != InvalidNode {
+		return fmt.Errorf("rtree: BulkLoad requires an empty tree")
+	}
+	for i := range items {
+		if !items[i].Rect.Valid() || items[i].Rect.Dims() != t.cfg.Dims {
+			return fmt.Errorf("rtree: item %d has invalid rectangle %v", i, items[i].Rect)
+		}
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	var leafEntries [][]Entry
+	switch t.cfg.Variant {
+	case Hilbert:
+		leafEntries = t.packHilbert(items)
+	default:
+		leafEntries = t.packSTR(items)
+	}
+	t.buildFromLeaves(leafEntries)
+	t.size = len(items)
+	return nil
+}
+
+// packHilbert sorts items by the Hilbert value of their centres and packs
+// them into leaves of capacity M in curve order (Kamel & Faloutsos).
+func (t *Tree) packHilbert(items []Item) [][]Entry {
+	sorted := append([]Item(nil), items...)
+	// Rebuild the curve over the actual data bounds: a curve spanning a much
+	// larger configured universe would quantise the data into a handful of
+	// cells and destroy the ordering.
+	bounds := geom.MBROf(itemRects(sorted))
+	if c, err := newCurveFor(bounds, t.cfg.HilbertBits); err == nil {
+		t.curve = c
+	}
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return t.curve.IndexRect(sorted[i].Rect) < t.curve.IndexRect(sorted[j].Rect)
+	})
+	return packRuns(sorted, t.cfg.MaxEntries)
+}
+
+// packSTR implements Sort-Tile-Recursive packing (Leutenegger et al.): sort
+// by the first dimension, cut into vertical slabs of S·M items, sort each
+// slab by the next dimension, and recurse.
+func (t *Tree) packSTR(items []Item) [][]Entry {
+	sorted := append([]Item(nil), items...)
+	t.strSort(sorted, 0)
+	return packRuns(sorted, t.cfg.MaxEntries)
+}
+
+func (t *Tree) strSort(items []Item, dim int) {
+	if dim >= t.cfg.Dims {
+		return
+	}
+	sort.SliceStable(items, func(i, j int) bool {
+		return items[i].Rect.Center()[dim] < items[j].Rect.Center()[dim]
+	})
+	if dim == t.cfg.Dims-1 {
+		return
+	}
+	// Number of leaves and slabs for the remaining dimensions.
+	leaves := int(math.Ceil(float64(len(items)) / float64(t.cfg.MaxEntries)))
+	slabs := int(math.Ceil(math.Pow(float64(leaves), 1/float64(t.cfg.Dims-dim))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	slabSize := int(math.Ceil(float64(len(items)) / float64(slabs)))
+	if slabSize < 1 {
+		slabSize = 1
+	}
+	for start := 0; start < len(items); start += slabSize {
+		end := start + slabSize
+		if end > len(items) {
+			end = len(items)
+		}
+		t.strSort(items[start:end], dim+1)
+	}
+}
+
+// packRuns chops a sorted item list into runs of at most capacity entries,
+// distributing the items evenly across the runs so that every run also
+// respects the minimum fill (the root-only exception is handled by the
+// caller).
+func packRuns(items []Item, capacity int) [][]Entry {
+	sizes := groupSizes(len(items), capacity)
+	out := make([][]Entry, 0, len(sizes))
+	pos := 0
+	for _, sz := range sizes {
+		run := make([]Entry, 0, sz)
+		for _, it := range items[pos : pos+sz] {
+			run = append(run, Entry{Rect: it.Rect.Clone(), Object: it.Object, Child: InvalidNode})
+		}
+		out = append(out, run)
+		pos += sz
+	}
+	return out
+}
+
+// groupSizes splits n items into ceil(n/capacity) groups of as-even-as-
+// possible sizes. For at least two groups each size is at least capacity/2,
+// which satisfies any legal minimum fill.
+func groupSizes(n, capacity int) []int {
+	if n == 0 {
+		return nil
+	}
+	groups := (n + capacity - 1) / capacity
+	base := n / groups
+	extra := n % groups
+	sizes := make([]int, groups)
+	for i := range sizes {
+		sizes[i] = base
+		if i < extra {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
+// buildFromLeaves materialises leaf nodes from entry runs and then packs
+// parent levels bottom-up until a single root remains.
+func (t *Tree) buildFromLeaves(leafEntries [][]Entry) {
+	level := 0
+	var current []NodeID
+	for _, run := range leafEntries {
+		n := t.newNode(true, 0)
+		n.entries = run
+		t.updateHilbertLHV(n)
+		t.counter.Write(1)
+		current = append(current, n.id)
+	}
+	for len(current) > 1 {
+		level++
+		var next []NodeID
+		pos := 0
+		for _, sz := range groupSizes(len(current), t.cfg.MaxEntries) {
+			parent := t.newNode(false, level)
+			for _, childID := range current[pos : pos+sz] {
+				child := t.nodes[childID]
+				child.parent = parent.id
+				parent.entries = append(parent.entries, Entry{Rect: child.mbb(), Child: childID})
+			}
+			pos += sz
+			t.updateHilbertLHV(parent)
+			t.counter.Write(1)
+			next = append(next, parent.id)
+		}
+		current = next
+	}
+	t.root = current[0]
+	t.height = t.nodes[t.root].level + 1
+}
+
+func itemRects(items []Item) []geom.Rect {
+	out := make([]geom.Rect, len(items))
+	for i := range items {
+		out[i] = items[i].Rect
+	}
+	return out
+}
+
+func newCurveFor(bounds geom.Rect, bits int) (*hilbert.Curve, error) {
+	return hilbert.New(bounds.Expand(bounds.Margin()*0.01+1), bits)
+}

@@ -1,0 +1,213 @@
+package rtree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"cbb/internal/geom"
+	"cbb/internal/storage"
+)
+
+// This file implements the physical node layout of Figure 4a and tree
+// persistence onto a storage.Pager: a directory node page holds its own id,
+// level and a list of <child MBB, child page> slots; a leaf page holds
+// <object MBB, object id> slots. The encoding is little-endian and
+// fixed-width per entry so the entry capacity per page is predictable, which
+// is what determines M for a given page size in the paper's benchmark
+// configuration.
+
+const nodeHeaderBytes = 1 + 1 + 4 + 4 // leaf flag, level, id, entry count
+
+// EntryBytes returns the encoded size of one entry for the given
+// dimensionality: 2·dims float64 extents plus an 8-byte child/object
+// reference.
+func EntryBytes(dims int) int { return dims*16 + 8 }
+
+// MaxEntriesForPage returns the largest node capacity M that fits a page of
+// the given size for the given dimensionality — how the paper derives M from
+// the 4 KiB page size.
+func MaxEntriesForPage(pageSize, dims int) int {
+	usable := pageSize - nodeHeaderBytes
+	if usable <= 0 {
+		return 0
+	}
+	return usable / EntryBytes(dims)
+}
+
+// encodeNode serialises a node into the Figure 4a layout.
+func encodeNode(n *node, dims int) []byte {
+	buf := make([]byte, 0, nodeHeaderBytes+len(n.entries)*EntryBytes(dims))
+	if n.leaf {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = append(buf, byte(n.level))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n.id))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(n.entries)))
+	for i := range n.entries {
+		e := &n.entries[i]
+		for d := 0; d < dims; d++ {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Rect.Lo[d]))
+		}
+		for d := 0; d < dims; d++ {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Rect.Hi[d]))
+		}
+		if n.leaf {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Object))
+		} else {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(e.Child)))
+		}
+	}
+	return buf
+}
+
+// decodeNode parses a node page. It returns an error for malformed input.
+func decodeNode(buf []byte, dims int) (*node, error) {
+	if len(buf) < nodeHeaderBytes {
+		return nil, errors.New("rtree: node page too short")
+	}
+	n := &node{parent: InvalidNode}
+	n.leaf = buf[0] == 1
+	n.level = int(buf[1])
+	n.id = NodeID(binary.LittleEndian.Uint32(buf[2:6]))
+	count := int(binary.LittleEndian.Uint32(buf[6:10]))
+	want := nodeHeaderBytes + count*EntryBytes(dims)
+	if len(buf) < want {
+		return nil, fmt.Errorf("rtree: node page truncated: have %d bytes, want %d", len(buf), want)
+	}
+	off := nodeHeaderBytes
+	n.entries = make([]Entry, count)
+	for i := 0; i < count; i++ {
+		lo := make(geom.Point, dims)
+		hi := make(geom.Point, dims)
+		for d := 0; d < dims; d++ {
+			lo[d] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		for d := 0; d < dims; d++ {
+			hi[d] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		ref := binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		e := Entry{Rect: geom.Rect{Lo: lo, Hi: hi}, Child: InvalidNode}
+		if n.leaf {
+			e.Object = ObjectID(ref)
+		} else {
+			e.Child = NodeID(int64(ref))
+		}
+		n.entries[i] = e
+	}
+	return n, nil
+}
+
+// Save writes every node of the tree onto the pager, one page per node, and
+// returns the page id of the root together with a map from node id to page
+// id. It is used by the storage-overhead experiment and by persistence
+// round-trip tests.
+func (t *Tree) Save(p *storage.Pager) (root storage.PageID, pages map[NodeID]storage.PageID, err error) {
+	if t.root == InvalidNode {
+		return storage.InvalidPage, nil, errors.New("rtree: cannot save an empty tree")
+	}
+	pages = make(map[NodeID]storage.PageID)
+	var firstErr error
+	t.Walk(func(info NodeInfo) {
+		if firstErr != nil {
+			return
+		}
+		kind := storage.KindDirectory
+		if info.Leaf {
+			kind = storage.KindLeaf
+		}
+		id, err := p.Allocate(kind)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		pages[info.ID] = id
+		if err := p.Write(id, encodeNode(t.nodes[info.ID], t.cfg.Dims)); err != nil {
+			firstErr = fmt.Errorf("rtree: saving node %d: %w", info.ID, err)
+		}
+	})
+	if firstErr != nil {
+		return storage.InvalidPage, nil, firstErr
+	}
+	return pages[t.root], pages, nil
+}
+
+// Load reconstructs a tree previously written with Save. The configuration
+// must match the one used when building the original tree.
+func Load(cfg Config, p *storage.Pager, root storage.PageID, pages map[NodeID]storage.PageID) (*Tree, error) {
+	t, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Invert the node→page mapping so children can be resolved.
+	byPage := make(map[storage.PageID]NodeID, len(pages))
+	for nid, pid := range pages {
+		byPage[pid] = nid
+	}
+	rootNode, ok := byPage[root]
+	if !ok {
+		return nil, errors.New("rtree: root page not present in page map")
+	}
+	maxID := NodeID(-1)
+	for nid := range pages {
+		if nid > maxID {
+			maxID = nid
+		}
+	}
+	t.nodes = make([]*node, maxID+1)
+	objects := 0
+	height := 0
+	for nid, pid := range pages {
+		buf, _, err := p.Read(pid)
+		if err != nil {
+			return nil, fmt.Errorf("rtree: reading page %d: %w", pid, err)
+		}
+		n, err := decodeNode(buf, cfg.Dims)
+		if err != nil {
+			return nil, err
+		}
+		if n.id != nid {
+			return nil, fmt.Errorf("rtree: page %d claims node id %d, expected %d", pid, n.id, nid)
+		}
+		t.nodes[nid] = n
+		if n.leaf {
+			objects += len(n.entries)
+		}
+		if n.level+1 > height {
+			height = n.level + 1
+		}
+	}
+	// Fix parent pointers and Hilbert values.
+	for _, n := range t.nodes {
+		if n == nil || n.leaf {
+			continue
+		}
+		for i := range n.entries {
+			child := n.entries[i].Child
+			if int(child) >= len(t.nodes) || t.nodes[child] == nil {
+				return nil, fmt.Errorf("rtree: node %d references missing child %d", n.id, child)
+			}
+			t.nodes[child].parent = n.id
+		}
+	}
+	t.root = rootNode
+	t.size = objects
+	t.height = height
+	if cfg.Variant == Hilbert && t.curve != nil {
+		// Recompute LHVs bottom-up (levels ascending).
+		for level := 0; level < height; level++ {
+			for _, n := range t.nodes {
+				if n != nil && n.level == level {
+					t.updateHilbertLHV(n)
+				}
+			}
+		}
+	}
+	return t, nil
+}

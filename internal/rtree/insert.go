@@ -1,0 +1,448 @@
+package rtree
+
+import (
+	"fmt"
+	"sort"
+
+	"cbb/internal/geom"
+)
+
+// InsertTrace reports which nodes were touched by a single insertion. The
+// clipped R-tree layer uses it to decide which clip tables must be
+// recomputed and to attribute the recomputation to one of the three causes
+// measured in the paper's Figure 12 (node split, MBB change, CBB-only
+// change).
+type InsertTrace struct {
+	// Leaf is the leaf node that received the object.
+	Leaf NodeID
+	// Split lists pre-existing nodes that were split.
+	Split []NodeID
+	// Created lists nodes created during the insertion (split partners and,
+	// possibly, a new root).
+	Created []NodeID
+	// MBBChanged lists pre-existing nodes whose MBB changed and that were
+	// not split.
+	MBBChanged []NodeID
+	// Placements lists every (node, rectangle) pair that received an entry
+	// during the insertion, including entries moved by forced reinsertion.
+	// The clipped layer validity-checks each placement against the target
+	// node's clip points.
+	Placements []Placement
+	// Reinserted counts entries force-reinserted by the R*-tree overflow
+	// treatment.
+	Reinserted int
+}
+
+// Placement records that a rectangle was placed into a node.
+type Placement struct {
+	Node NodeID
+	Rect geom.Rect
+}
+
+func (tr *InsertTrace) markSplit(id NodeID) {
+	for _, v := range tr.Split {
+		if v == id {
+			return
+		}
+	}
+	tr.Split = append(tr.Split, id)
+}
+
+func (tr *InsertTrace) markCreated(id NodeID) {
+	for _, v := range tr.Created {
+		if v == id {
+			return
+		}
+	}
+	tr.Created = append(tr.Created, id)
+}
+
+func (tr *InsertTrace) markMBBChanged(id NodeID) {
+	for _, v := range tr.MBBChanged {
+		if v == id {
+			return
+		}
+	}
+	for _, v := range tr.Split {
+		if v == id {
+			return
+		}
+	}
+	for _, v := range tr.Created {
+		if v == id {
+			return
+		}
+	}
+	tr.MBBChanged = append(tr.MBBChanged, id)
+}
+
+// Changed reports whether the node appears in any of the trace's change
+// sets.
+func (tr *InsertTrace) Changed(id NodeID) bool {
+	for _, v := range tr.Split {
+		if v == id {
+			return true
+		}
+	}
+	for _, v := range tr.Created {
+		if v == id {
+			return true
+		}
+	}
+	for _, v := range tr.MBBChanged {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds an object with the given rectangle to the tree and returns a
+// trace of the structural changes. The rectangle's dimensionality must match
+// the tree's.
+func (t *Tree) Insert(r geom.Rect, obj ObjectID) (*InsertTrace, error) {
+	if !r.Valid() || r.Dims() != t.cfg.Dims {
+		return nil, fmt.Errorf("rtree: invalid rectangle %v for a %d-dimensional tree", r, t.cfg.Dims)
+	}
+	trace := &InsertTrace{Leaf: InvalidNode}
+	if t.root == InvalidNode {
+		root := t.newNode(true, 0)
+		t.root = root.id
+		t.height = 1
+		root.entries = append(root.entries, Entry{Rect: r.Clone(), Object: obj, Child: InvalidNode})
+		t.updateHilbertLHV(root)
+		t.size++
+		trace.Leaf = root.id
+		trace.markCreated(root.id)
+		trace.Placements = append(trace.Placements, Placement{Node: root.id, Rect: r.Clone()})
+		t.counter.Write(1)
+		return trace, nil
+	}
+	rootBefore := t.nodes[t.root].mbb()
+	overflowDone := make(map[int]bool)
+	t.insertAtLevel(Entry{Rect: r.Clone(), Object: obj, Child: InvalidNode}, 0, trace, overflowDone, true)
+	t.size++
+	if rootAfter := t.nodes[t.root].mbb(); !rootAfter.Equal(rootBefore) {
+		trace.markMBBChanged(t.root)
+	}
+	return trace, nil
+}
+
+// insertAtLevel places the entry into a node at the given level, handling
+// overflow. recordLeaf marks whether the chosen node should be recorded as
+// the receiving leaf in the trace (true only for the original object
+// insertion, not for re-insertions).
+func (t *Tree) insertAtLevel(e Entry, level int, trace *InsertTrace, overflowDone map[int]bool, recordLeaf bool) {
+	target := t.chooseSubtree(e.Rect, level)
+	n := t.nodes[target]
+	if e.Child != InvalidNode {
+		t.nodes[e.Child].parent = n.id
+	}
+	before := n.mbb()
+	n.entries = append(n.entries, e)
+	if recordLeaf && n.leaf {
+		trace.Leaf = n.id
+	}
+	trace.Placements = append(trace.Placements, Placement{Node: n.id, Rect: e.Rect})
+	t.counter.Write(1)
+	if len(n.entries) > t.cfg.MaxEntries {
+		t.handleOverflow(n, trace, overflowDone)
+		return
+	}
+	if !n.mbb().Equal(before) {
+		trace.markMBBChanged(n.id)
+	}
+	t.updateHilbertLHV(n)
+	t.adjustUpward(n, trace)
+}
+
+// chooseSubtree descends from the root to a node at the requested level,
+// using the variant-specific selection policy, and returns its id.
+func (t *Tree) chooseSubtree(r geom.Rect, level int) NodeID {
+	cur := t.nodes[t.root]
+	for cur.level > level {
+		idx := t.chooseChild(cur, r)
+		cur = t.nodes[cur.entries[idx].Child]
+	}
+	return cur.id
+}
+
+// chooseChild picks the index of the child entry of n that should receive a
+// rectangle r, per the variant's policy.
+func (t *Tree) chooseChild(n *node, r geom.Rect) int {
+	switch t.cfg.Variant {
+	case RStar, RRStar:
+		// When the children are leaves (or, more generally, one level above
+		// the target in the R* formulation), minimise overlap enlargement;
+		// higher up minimise volume enlargement. The RR*-tree additionally
+		// breaks ties by margin (perimeter) enlargement, which matters for
+		// degenerate rectangles.
+		if n.level == 1 {
+			return t.chooseMinOverlapChild(n, r)
+		}
+		return t.chooseMinEnlargementChild(n, r)
+	case Hilbert:
+		if t.curve != nil {
+			return t.chooseHilbertChild(n, r)
+		}
+		return t.chooseMinEnlargementChild(n, r)
+	default:
+		return t.chooseMinEnlargementChild(n, r)
+	}
+}
+
+func (t *Tree) chooseMinEnlargementChild(n *node, r geom.Rect) int {
+	best := 0
+	var bestEnl, bestVol float64
+	for i := range n.entries {
+		enl := n.entries[i].Rect.Enlargement(r)
+		vol := n.entries[i].Rect.Volume()
+		if i == 0 || enl < bestEnl || (enl == bestEnl && vol < bestVol) {
+			best, bestEnl, bestVol = i, enl, vol
+		}
+	}
+	return best
+}
+
+func (t *Tree) chooseMinOverlapChild(n *node, r geom.Rect) int {
+	type cand struct {
+		idx        int
+		overlapInc float64
+		volInc     float64
+		marginInc  float64
+		vol        float64
+	}
+	best := cand{idx: -1}
+	for i := range n.entries {
+		grown := n.entries[i].Rect.Union(r)
+		var ovBefore, ovAfter float64
+		for j := range n.entries {
+			if j == i {
+				continue
+			}
+			ovBefore += n.entries[i].Rect.OverlapVolume(n.entries[j].Rect)
+			ovAfter += grown.OverlapVolume(n.entries[j].Rect)
+		}
+		c := cand{
+			idx:        i,
+			overlapInc: ovAfter - ovBefore,
+			volInc:     n.entries[i].Rect.Enlargement(r),
+			marginInc:  n.entries[i].Rect.MarginEnlargement(r),
+			vol:        n.entries[i].Rect.Volume(),
+		}
+		if best.idx < 0 || less(c, best, t.cfg.Variant) {
+			best = c
+		}
+	}
+	return best.idx
+}
+
+// less orders two subtree candidates. The R*-tree compares overlap
+// enlargement, then volume enlargement, then volume; the RR*-tree inserts a
+// margin-enlargement comparison before volume so that zero-volume
+// rectangles (points, axis-parallel segments) are still discriminated.
+func less(a, b struct {
+	idx        int
+	overlapInc float64
+	volInc     float64
+	marginInc  float64
+	vol        float64
+}, v Variant) bool {
+	if a.overlapInc != b.overlapInc {
+		return a.overlapInc < b.overlapInc
+	}
+	if a.volInc != b.volInc {
+		return a.volInc < b.volInc
+	}
+	if v == RRStar && a.marginInc != b.marginInc {
+		return a.marginInc < b.marginInc
+	}
+	return a.vol < b.vol
+}
+
+func (t *Tree) chooseHilbertChild(n *node, r geom.Rect) int {
+	h := t.curve.IndexRect(r)
+	best := -1
+	for i := range n.entries {
+		child := t.nodes[n.entries[i].Child]
+		if child.hilbertLHV >= h {
+			if best < 0 || t.nodes[n.entries[best].Child].hilbertLHV > child.hilbertLHV {
+				best = i
+			}
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	// All children have smaller LHV: take the one with the largest.
+	best = 0
+	for i := range n.entries {
+		if t.nodes[n.entries[i].Child].hilbertLHV > t.nodes[n.entries[best].Child].hilbertLHV {
+			best = i
+		}
+	}
+	return best
+}
+
+// handleOverflow resolves an over-full node either by forced reinsertion
+// (R*-tree, once per level per insertion) or by splitting.
+func (t *Tree) handleOverflow(n *node, trace *InsertTrace, overflowDone map[int]bool) {
+	if t.cfg.Variant == RStar && n.id != t.root && !overflowDone[n.level] {
+		overflowDone[n.level] = true
+		t.forcedReinsert(n, trace, overflowDone)
+		return
+	}
+	t.splitNode(n, trace, overflowDone)
+}
+
+// forcedReinsert removes the configured fraction of entries whose centres
+// are farthest from the node's centre and re-inserts them at the same level
+// (the R*-tree overflow treatment).
+func (t *Tree) forcedReinsert(n *node, trace *InsertTrace, overflowDone map[int]bool) {
+	centre := n.mbb().Center()
+	type distEntry struct {
+		e Entry
+		d float64
+	}
+	ds := make([]distEntry, len(n.entries))
+	for i, e := range n.entries {
+		ds[i] = distEntry{e: e, d: e.Rect.Center().DistSq(centre)}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].d > ds[j].d })
+	p := int(float64(t.cfg.MaxEntries) * t.cfg.ReinsertFraction)
+	if p < 1 {
+		p = 1
+	}
+	if p >= len(ds) {
+		p = len(ds) - 1
+	}
+	removed := make([]Entry, p)
+	for i := 0; i < p; i++ {
+		removed[i] = ds[i].e
+	}
+	kept := make([]Entry, 0, len(ds)-p)
+	for i := p; i < len(ds); i++ {
+		kept = append(kept, ds[i].e)
+	}
+	n.entries = kept
+	trace.markMBBChanged(n.id)
+	t.updateHilbertLHV(n)
+	t.adjustUpward(n, trace)
+	trace.Reinserted += len(removed)
+	// Reinsert far entries first (the R*-tree's "reinsert" ordering).
+	for _, e := range removed {
+		t.insertAtLevel(e, n.level, trace, overflowDone, false)
+	}
+}
+
+// splitNode splits an over-full node with the variant's split algorithm and
+// pushes the new sibling into the parent (growing the tree if the root was
+// split).
+func (t *Tree) splitNode(n *node, trace *InsertTrace, overflowDone map[int]bool) {
+	groupA, groupB := t.splitEntries(n.entries)
+	sibling := t.newNode(n.leaf, n.level)
+	n.entries = groupA
+	sibling.entries = groupB
+	if !n.leaf {
+		for i := range sibling.entries {
+			t.nodes[sibling.entries[i].Child].parent = sibling.id
+		}
+		for i := range n.entries {
+			t.nodes[n.entries[i].Child].parent = n.id
+		}
+	}
+	t.updateHilbertLHV(n)
+	t.updateHilbertLHV(sibling)
+	trace.markSplit(n.id)
+	trace.markCreated(sibling.id)
+	t.counter.Write(2)
+
+	if n.id == t.root {
+		newRoot := t.newNode(false, n.level+1)
+		newRoot.entries = []Entry{
+			{Rect: n.mbb(), Child: n.id},
+			{Rect: sibling.mbb(), Child: sibling.id},
+		}
+		n.parent = newRoot.id
+		sibling.parent = newRoot.id
+		t.root = newRoot.id
+		t.height = newRoot.level + 1
+		t.updateHilbertLHV(newRoot)
+		trace.markCreated(newRoot.id)
+		t.counter.Write(1)
+		return
+	}
+
+	parent := t.nodes[n.parent]
+	idx := t.childIndex(parent, n.id)
+	before := parent.mbb()
+	parent.entries[idx].Rect = n.mbb()
+	sibling.parent = parent.id
+	parent.entries = append(parent.entries, Entry{Rect: sibling.mbb(), Child: sibling.id})
+	t.counter.Write(1)
+	if len(parent.entries) > t.cfg.MaxEntries {
+		t.handleOverflow(parent, trace, overflowDone)
+		return
+	}
+	if !parent.mbb().Equal(before) {
+		trace.markMBBChanged(parent.id)
+	}
+	t.updateHilbertLHV(parent)
+	t.adjustUpward(parent, trace)
+}
+
+// adjustUpward propagates MBB (and Hilbert LHV) changes from n towards the
+// root, recording every node whose MBB actually changed.
+func (t *Tree) adjustUpward(n *node, trace *InsertTrace) {
+	cur := n
+	for cur.parent != InvalidNode {
+		parent := t.nodes[cur.parent]
+		idx := t.childIndex(parent, cur.id)
+		newMBB := cur.mbb()
+		changed := !parent.entries[idx].Rect.Equal(newMBB)
+		if changed {
+			parent.entries[idx].Rect = newMBB
+			trace.markMBBChanged(cur.id)
+			t.counter.Write(1)
+		}
+		t.updateHilbertLHV(parent)
+		if !changed && t.cfg.Variant != Hilbert {
+			return
+		}
+		cur = parent
+	}
+}
+
+// childIndex finds the entry slot of child within parent. It panics if the
+// child is not present, which would indicate a corrupted tree.
+func (t *Tree) childIndex(parent *node, child NodeID) int {
+	for i := range parent.entries {
+		if parent.entries[i].Child == child {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("rtree: node %d not found in parent %d", child, parent.id))
+}
+
+// updateHilbertLHV refreshes the cached largest-Hilbert-value of a node
+// (Hilbert variant only; a no-op otherwise).
+func (t *Tree) updateHilbertLHV(n *node) {
+	if t.cfg.Variant != Hilbert || t.curve == nil {
+		return
+	}
+	var max uint64
+	if n.leaf {
+		for i := range n.entries {
+			if h := t.curve.IndexRect(n.entries[i].Rect); h > max {
+				max = h
+			}
+		}
+	} else {
+		for i := range n.entries {
+			if h := t.nodes[n.entries[i].Child].hilbertLHV; h > max {
+				max = h
+			}
+		}
+	}
+	n.hilbertLHV = max
+}

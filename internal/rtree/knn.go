@@ -1,0 +1,125 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"cbb/internal/geom"
+)
+
+// Neighbor is one result of a nearest-neighbour query: an object, its
+// rectangle, and its squared distance to the query point.
+type Neighbor struct {
+	Object ObjectID
+	Rect   geom.Rect
+	DistSq float64
+}
+
+// NearestNeighbors returns the k objects whose rectangles are closest to the
+// query point (by minimum Euclidean distance; objects containing the point
+// have distance zero), ordered by ascending distance. It uses the classic
+// best-first traversal with a priority queue over node MinDist and therefore
+// visits only the nodes whose MinDist is below the current k-th best
+// distance. Node accesses are charged to the tree's counter like any search.
+//
+// Nearest-neighbour search is not part of the paper's evaluation; it is
+// provided because most downstream users of an R-tree library expect it, and
+// it exercises the same node layout and I/O accounting as range queries.
+func (t *Tree) NearestNeighbors(k int, p geom.Point) []Neighbor {
+	if k <= 0 || t.root == InvalidNode || len(p) != t.cfg.Dims {
+		return nil
+	}
+	pq := &knnQueue{}
+	heap.Init(pq)
+	heap.Push(pq, knnEntry{node: t.root, distSq: t.nodes[t.root].mbb().MinDistSq(p)})
+
+	var results []Neighbor
+	worst := func() float64 {
+		if len(results) < k {
+			return -1 // no bound yet
+		}
+		return results[len(results)-1].DistSq
+	}
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(knnEntry)
+		if w := worst(); w >= 0 && e.distSq > w {
+			break // nothing in the queue can improve the result set
+		}
+		if e.node != InvalidNode {
+			n := t.nodes[e.node]
+			if n.leaf {
+				t.counter.LeafRead(1)
+				for i := range n.entries {
+					d := n.entries[i].Rect.MinDistSq(p)
+					if w := worst(); w >= 0 && d > w {
+						continue
+					}
+					heap.Push(pq, knnEntry{
+						node: InvalidNode, object: n.entries[i].Object,
+						rect: n.entries[i].Rect, distSq: d, isObject: true,
+					})
+				}
+			} else {
+				t.counter.DirRead(1)
+				for i := range n.entries {
+					d := n.entries[i].Rect.MinDistSq(p)
+					if w := worst(); w >= 0 && d > w {
+						continue
+					}
+					heap.Push(pq, knnEntry{node: n.entries[i].Child, distSq: d})
+				}
+			}
+			continue
+		}
+		// An object entry surfaced: it is at least as close as everything
+		// still queued, so it is final.
+		results = insertNeighbor(results, Neighbor{Object: e.object, Rect: e.rect, DistSq: e.distSq}, k)
+	}
+	return results
+}
+
+// insertNeighbor inserts n into the sorted result list, keeping at most k
+// entries.
+func insertNeighbor(results []Neighbor, n Neighbor, k int) []Neighbor {
+	pos := len(results)
+	for pos > 0 && results[pos-1].DistSq > n.DistSq {
+		pos--
+	}
+	results = append(results, Neighbor{})
+	copy(results[pos+1:], results[pos:])
+	results[pos] = n
+	if len(results) > k {
+		results = results[:k]
+	}
+	return results
+}
+
+type knnEntry struct {
+	node     NodeID
+	object   ObjectID
+	rect     geom.Rect
+	distSq   float64
+	isObject bool
+}
+
+type knnQueue []knnEntry
+
+func (q knnQueue) Len() int { return len(q) }
+func (q knnQueue) Less(i, j int) bool {
+	if q[i].distSq != q[j].distSq {
+		return q[i].distSq < q[j].distSq
+	}
+	// Prefer surfacing objects before nodes at equal distance so results
+	// finalise as early as possible.
+	return q[i].isObject && !q[j].isObject
+}
+func (q knnQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *knnQueue) Push(x interface{}) {
+	*q = append(*q, x.(knnEntry))
+}
+func (q *knnQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}

@@ -1,0 +1,110 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cbb/internal/geom"
+)
+
+func bruteForceKNN(items []Item, p geom.Point, k int) []Neighbor {
+	out := make([]Neighbor, 0, len(items))
+	for _, it := range items {
+		out = append(out, Neighbor{Object: it.Object, Rect: it.Rect, DistSq: it.Rect.MinDistSq(p)})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].DistSq < out[j].DistSq })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func TestNearestNeighborsMatchesBruteForce(t *testing.T) {
+	for _, v := range AllVariants() {
+		t.Run(v.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(61))
+			tr := MustNew(smallConfig(2, v))
+			var items []Item
+			for i := 0; i < 600; i++ {
+				r := randRect(rng, 2, 1000, 10)
+				items = append(items, Item{Object: ObjectID(i), Rect: r})
+				_, _ = tr.Insert(r, ObjectID(i))
+			}
+			for trial := 0; trial < 30; trial++ {
+				p := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+				k := 1 + rng.Intn(10)
+				got := tr.NearestNeighbors(k, p)
+				want := bruteForceKNN(items, p, k)
+				if len(got) != len(want) {
+					t.Fatalf("k=%d: got %d results, want %d", k, len(got), len(want))
+				}
+				for i := range got {
+					// Distances must match exactly (ties may reorder ids).
+					if got[i].DistSq != want[i].DistSq {
+						t.Fatalf("k=%d rank %d: dist %g, want %g", k, i, got[i].DistSq, want[i].DistSq)
+					}
+				}
+				// Results are sorted ascending.
+				for i := 1; i < len(got); i++ {
+					if got[i].DistSq < got[i-1].DistSq {
+						t.Fatal("results not sorted by distance")
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestNearestNeighborsEdgeCases(t *testing.T) {
+	tr := MustNew(smallConfig(2, RStar))
+	if tr.NearestNeighbors(3, geom.Pt(0, 0)) != nil {
+		t.Error("empty tree should return nil")
+	}
+	_, _ = tr.Insert(geom.R(0, 0, 1, 1), 1)
+	if tr.NearestNeighbors(0, geom.Pt(0, 0)) != nil {
+		t.Error("k=0 should return nil")
+	}
+	if tr.NearestNeighbors(3, geom.Pt(0, 0, 0)) != nil {
+		t.Error("dimension mismatch should return nil")
+	}
+	got := tr.NearestNeighbors(5, geom.Pt(10, 10))
+	if len(got) != 1 || got[0].Object != 1 {
+		t.Fatalf("k larger than tree size should return all objects: %v", got)
+	}
+	// A point inside an object has distance zero.
+	if d := tr.NearestNeighbors(1, geom.Pt(0.5, 0.5))[0].DistSq; d != 0 {
+		t.Errorf("containing object should have distance 0, got %g", d)
+	}
+}
+
+func TestNearestNeighborsPrunesNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	tr := MustNew(smallConfig(2, RStar))
+	for i := 0; i < 2000; i++ {
+		_, _ = tr.Insert(randRect(rng, 2, 5000, 5), ObjectID(i))
+	}
+	_, leaves := tr.NodeCount()
+	tr.Counter().Reset()
+	tr.NearestNeighbors(5, geom.Pt(2500, 2500))
+	read := tr.Counter().Snapshot().LeafReads
+	if read == 0 {
+		t.Fatal("kNN should read at least one leaf")
+	}
+	if read > int64(leaves)/4 {
+		t.Errorf("best-first kNN read %d of %d leaves; pruning looks broken", read, leaves)
+	}
+}
+
+func BenchmarkNearestNeighbors(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := MustNew(DefaultConfig(2, RStar))
+	for i := 0; i < 20000; i++ {
+		_, _ = tr.Insert(randRect(rng, 2, 10000, 10), ObjectID(i))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.NearestNeighbors(10, geom.Pt(rng.Float64()*10000, rng.Float64()*10000))
+	}
+}

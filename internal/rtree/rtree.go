@@ -1,0 +1,404 @@
+// Package rtree implements a disk-style R-tree framework and the four
+// variants evaluated in the paper: the quadratic R-tree of Guttman
+// (QR-tree), the Hilbert R-tree (HR-tree, bulk loaded along the Hilbert
+// curve), the R*-tree of Beckmann et al., and the revised R*-tree
+// (RR*-tree). All variants share the same node layout and query algorithm
+// and differ only in how they distribute entries into nodes, exactly as the
+// paper assumes when it plugs clipped bounding boxes into each of them.
+//
+// Nodes live in an in-memory arena; every node access during a query is
+// routed through a storage.Counter so the evaluation can measure leaf and
+// directory accesses, the paper's I/O metric. Trees can additionally be
+// serialised page-by-page onto a storage.Pager for storage-breakdown
+// experiments and persistence tests.
+package rtree
+
+import (
+	"errors"
+	"fmt"
+
+	"cbb/internal/geom"
+	"cbb/internal/hilbert"
+	"cbb/internal/storage"
+)
+
+// Variant selects the node-organisation strategy.
+type Variant int
+
+// The four R-tree variants of the paper's evaluation.
+const (
+	// Quadratic is Guttman's original R-tree with quadratic-cost split
+	// (the paper's QR-tree).
+	Quadratic Variant = iota
+	// Hilbert is the Hilbert R-tree: bulk loaded by Hilbert order of object
+	// centres, with order-preserving dynamic inserts (the paper's HR-tree).
+	Hilbert
+	// RStar is the R*-tree: margin/overlap-driven splits and forced
+	// reinsertion on first overflow per level.
+	RStar
+	// RRStar is the revised R*-tree: overlap-minimising subtree choice and
+	// perimeter-weighted splits, without forced reinsertion.
+	RRStar
+)
+
+// String returns the paper's name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case Quadratic:
+		return "QR-tree"
+	case Hilbert:
+		return "HR-tree"
+	case RStar:
+		return "R*-tree"
+	case RRStar:
+		return "RR*-tree"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// AllVariants lists the four variants in the order the paper's figures use.
+func AllVariants() []Variant { return []Variant{Quadratic, Hilbert, RStar, RRStar} }
+
+// ObjectID identifies a data object stored in a leaf entry.
+type ObjectID int64
+
+// NodeID identifies a node in the tree arena. InvalidNode (-1) is the null
+// reference.
+type NodeID int32
+
+// InvalidNode is the null node reference.
+const InvalidNode NodeID = -1
+
+// Entry is one slot of a node: a rectangle plus either a child node
+// reference (directory nodes) or an object id (leaf nodes).
+type Entry struct {
+	Rect   geom.Rect
+	Child  NodeID
+	Object ObjectID
+}
+
+type node struct {
+	id      NodeID
+	parent  NodeID
+	leaf    bool
+	level   int // 0 = leaf level
+	entries []Entry
+	// hilbertLHV is the largest Hilbert value of the subtree, maintained
+	// only by the Hilbert variant.
+	hilbertLHV uint64
+}
+
+func (n *node) mbb() geom.Rect {
+	var out geom.Rect
+	for i := range n.entries {
+		out = out.Union(n.entries[i].Rect)
+	}
+	return out
+}
+
+// Config describes an R-tree's shape-independent parameters.
+type Config struct {
+	// Dims is the dimensionality of all indexed rectangles (2 or 3 in the
+	// paper's evaluation).
+	Dims int
+	// MaxEntries is the node capacity M.
+	MaxEntries int
+	// MinEntries is the minimum fill m (must satisfy 1 <= m <= M/2).
+	MinEntries int
+	// Variant selects the split / subtree-choice strategy.
+	Variant Variant
+	// Universe bounds the data space; it is required by the Hilbert variant
+	// and harmless otherwise. When zero it defaults to a large symmetric box.
+	Universe geom.Rect
+	// HilbertBits is the Hilbert curve order (bits per dimension) used by
+	// the Hilbert variant; defaults to 16.
+	HilbertBits int
+	// ReinsertFraction is the share of entries force-reinserted by the
+	// R*-tree on the first overflow of a level (defaults to 0.3).
+	ReinsertFraction float64
+}
+
+// DefaultConfig returns the configuration used by the evaluation harness:
+// M = 50, m = 20 (40 % of M, as recommended for the R*-tree family),
+// the requested variant, and a generous default universe.
+func DefaultConfig(dims int, v Variant) Config {
+	return Config{
+		Dims:             dims,
+		MaxEntries:       50,
+		MinEntries:       20,
+		Variant:          v,
+		HilbertBits:      16,
+		ReinsertFraction: 0.3,
+	}
+}
+
+// Validate checks the configuration and fills in defaults for optional
+// fields. It returns a usable copy.
+func (c Config) withDefaults() (Config, error) {
+	if c.Dims < 1 || c.Dims > geom.MaxDims {
+		return c, fmt.Errorf("rtree: dims must be in [1, %d], got %d", geom.MaxDims, c.Dims)
+	}
+	if c.MaxEntries < 4 {
+		return c, fmt.Errorf("rtree: MaxEntries must be at least 4, got %d", c.MaxEntries)
+	}
+	if c.MinEntries < 1 || c.MinEntries > c.MaxEntries/2 {
+		return c, fmt.Errorf("rtree: MinEntries must be in [1, MaxEntries/2], got %d", c.MinEntries)
+	}
+	switch c.Variant {
+	case Quadratic, Hilbert, RStar, RRStar:
+	default:
+		return c, fmt.Errorf("rtree: unknown variant %d", int(c.Variant))
+	}
+	if c.HilbertBits <= 0 {
+		c.HilbertBits = 16
+	}
+	if c.Dims*c.HilbertBits > hilbert.MaxTotalBits {
+		c.HilbertBits = hilbert.MaxTotalBits / c.Dims
+	}
+	if c.ReinsertFraction <= 0 || c.ReinsertFraction >= 0.5 {
+		c.ReinsertFraction = 0.3
+	}
+	if c.Universe.IsZero() {
+		lo := make(geom.Point, c.Dims)
+		hi := make(geom.Point, c.Dims)
+		for i := 0; i < c.Dims; i++ {
+			lo[i], hi[i] = -1e6, 1e6
+		}
+		c.Universe = geom.Rect{Lo: lo, Hi: hi}
+	}
+	if !c.Universe.Valid() || c.Universe.Dims() != c.Dims {
+		return c, errors.New("rtree: universe rectangle is invalid or has wrong dimensionality")
+	}
+	return c, nil
+}
+
+// Tree is an R-tree of one of the four variants.
+type Tree struct {
+	cfg     Config
+	nodes   []*node
+	free    []NodeID
+	root    NodeID
+	size    int
+	height  int // number of levels; 1 = root is a leaf
+	counter *storage.Counter
+	curve   *hilbert.Curve
+}
+
+// New creates an empty tree. The tree uses its own private I/O counter; use
+// SetCounter to share one across trees.
+func New(cfg Config) (*Tree, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{cfg: cfg, root: InvalidNode, counter: &storage.Counter{}}
+	if cfg.Variant == Hilbert {
+		c, err := hilbert.New(cfg.Universe, cfg.HilbertBits)
+		if err != nil {
+			return nil, fmt.Errorf("rtree: building hilbert curve: %w", err)
+		}
+		t.curve = c
+	}
+	return t, nil
+}
+
+// MustNew is New that panics on error, for tests and examples.
+func MustNew(cfg Config) *Tree {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the tree's effective configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// Variant returns the tree's variant.
+func (t *Tree) Variant() Variant { return t.cfg.Variant }
+
+// Dims returns the dimensionality of indexed rectangles.
+func (t *Tree) Dims() int { return t.cfg.Dims }
+
+// Len returns the number of indexed objects.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels (0 for an empty tree, 1 when the root
+// is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Counter returns the I/O counter node accesses are charged to.
+func (t *Tree) Counter() *storage.Counter { return t.counter }
+
+// SetCounter replaces the I/O counter (for sharing across trees in joins).
+func (t *Tree) SetCounter(c *storage.Counter) {
+	if c != nil {
+		t.counter = c
+	}
+}
+
+// RootID returns the id of the root node, or InvalidNode for an empty tree.
+func (t *Tree) RootID() NodeID { return t.root }
+
+// Bounds returns the MBB of all indexed objects (zero Rect when empty).
+func (t *Tree) Bounds() geom.Rect {
+	if t.root == InvalidNode {
+		return geom.Rect{}
+	}
+	return t.nodes[t.root].mbb()
+}
+
+// --- node arena management -------------------------------------------------
+
+func (t *Tree) newNode(leaf bool, level int) *node {
+	var id NodeID
+	if n := len(t.free); n > 0 {
+		id = t.free[n-1]
+		t.free = t.free[:n-1]
+		nd := t.nodes[id]
+		*nd = node{id: id, parent: InvalidNode, leaf: leaf, level: level}
+		return nd
+	}
+	id = NodeID(len(t.nodes))
+	nd := &node{id: id, parent: InvalidNode, leaf: leaf, level: level}
+	t.nodes = append(t.nodes, nd)
+	return nd
+}
+
+func (t *Tree) freeNode(id NodeID) {
+	t.nodes[id].entries = nil
+	t.free = append(t.free, id)
+}
+
+func (t *Tree) node(id NodeID) *node {
+	return t.nodes[id]
+}
+
+// NodeInfo is a read-only description of one node, exposed for the clip
+// layer, statistics, and tests.
+type NodeInfo struct {
+	ID       NodeID
+	Parent   NodeID
+	Leaf     bool
+	Level    int
+	MBB      geom.Rect
+	Children []Entry
+}
+
+// Node returns a snapshot of the node with the given id. The returned
+// Children slice aliases internal storage and must not be modified.
+func (t *Tree) Node(id NodeID) (NodeInfo, error) {
+	if id < 0 || int(id) >= len(t.nodes) || t.nodes[id] == nil {
+		return NodeInfo{}, fmt.Errorf("rtree: node %d does not exist", id)
+	}
+	n := t.nodes[id]
+	return NodeInfo{
+		ID: n.id, Parent: n.parent, Leaf: n.leaf, Level: n.level,
+		MBB: n.mbb(), Children: n.entries,
+	}, nil
+}
+
+// Walk visits every live node of the tree top-down, calling fn with a
+// snapshot of each. It does not charge I/O; it is intended for construction
+// of clip tables, statistics, and validation.
+func (t *Tree) Walk(fn func(NodeInfo)) {
+	if t.root == InvalidNode {
+		return
+	}
+	stack := []NodeID{t.root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := t.nodes[id]
+		fn(NodeInfo{ID: n.id, Parent: n.parent, Leaf: n.leaf, Level: n.level, MBB: n.mbb(), Children: n.entries})
+		if !n.leaf {
+			for i := range n.entries {
+				stack = append(stack, n.entries[i].Child)
+			}
+		}
+	}
+}
+
+// NodeCount returns the number of live nodes (directory + leaf).
+func (t *Tree) NodeCount() (dir, leaf int) {
+	t.Walk(func(info NodeInfo) {
+		if info.Leaf {
+			leaf++
+		} else {
+			dir++
+		}
+	})
+	return dir, leaf
+}
+
+// --- search ------------------------------------------------------------------
+
+// Search finds every object whose rectangle intersects q and passes it to
+// visit; traversal stops early if visit returns false. Node accesses are
+// charged to the tree's counter (directory and leaf reads separately).
+func (t *Tree) Search(q geom.Rect, visit func(ObjectID, geom.Rect) bool) {
+	t.SearchFiltered(q, nil, visit)
+}
+
+// SearchFiltered is Search with an optional per-node admission filter: when
+// filter is non-nil it is consulted before a child node is visited, with
+// that child's id and MBB (the rectangle stored in the parent entry);
+// returning false skips the child (and saves its I/O). The clipped R-tree
+// layer uses the filter to apply Algorithm 2 with each child's clip points.
+// The root is always visited.
+func (t *Tree) SearchFiltered(q geom.Rect, filter func(NodeID, geom.Rect) bool, visit func(ObjectID, geom.Rect) bool) {
+	if t.root == InvalidNode || !q.Valid() {
+		return
+	}
+	t.searchNode(t.root, q, filter, visit)
+}
+
+func (t *Tree) searchNode(id NodeID, q geom.Rect, filter func(NodeID, geom.Rect) bool, visit func(ObjectID, geom.Rect) bool) bool {
+	n := t.nodes[id]
+	if n.leaf {
+		t.counter.LeafRead(1)
+		for i := range n.entries {
+			if n.entries[i].Rect.Intersects(q) {
+				if !visit(n.entries[i].Object, n.entries[i].Rect) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	t.counter.DirRead(1)
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.Rect.Intersects(q) {
+			continue
+		}
+		if filter != nil && !filter(e.Child, e.Rect) {
+			continue
+		}
+		if !t.searchNode(e.Child, q, filter, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of objects intersecting q (convenience wrapper
+// over Search).
+func (t *Tree) Count(q geom.Rect) int {
+	n := 0
+	t.Search(q, func(ObjectID, geom.Rect) bool { n++; return true })
+	return n
+}
+
+// All returns every object in the tree (id and rectangle), in no particular
+// order, without charging I/O.
+func (t *Tree) All() []Entry {
+	var out []Entry
+	t.Walk(func(info NodeInfo) {
+		if info.Leaf {
+			out = append(out, info.Children...)
+		}
+	})
+	return out
+}

@@ -1,0 +1,243 @@
+package rtree
+
+import (
+	"sort"
+
+	"cbb/internal/geom"
+)
+
+// splitEntries distributes an over-full entry set (M+1 entries) into two
+// groups according to the variant's split algorithm. Both groups respect the
+// minimum fill m.
+func (t *Tree) splitEntries(entries []Entry) (groupA, groupB []Entry) {
+	switch t.cfg.Variant {
+	case RStar:
+		return t.splitRStar(entries, false)
+	case RRStar:
+		return t.splitRStar(entries, true)
+	case Hilbert:
+		if t.curve != nil {
+			return t.splitHilbert(entries)
+		}
+		return t.splitQuadratic(entries)
+	default:
+		return t.splitQuadratic(entries)
+	}
+}
+
+// --- Guttman quadratic split ------------------------------------------------
+
+// splitQuadratic implements Guttman's quadratic-cost split: pick the two
+// entries that would waste the most area if grouped together as seeds, then
+// repeatedly assign the entry with the greatest preference difference to the
+// group whose MBB it enlarges least, while honouring the minimum fill.
+func (t *Tree) splitQuadratic(entries []Entry) ([]Entry, []Entry) {
+	m := t.cfg.MinEntries
+	seedA, seedB := pickQuadraticSeeds(entries)
+	groupA := []Entry{entries[seedA]}
+	groupB := []Entry{entries[seedB]}
+	mbbA := entries[seedA].Rect.Clone()
+	mbbB := entries[seedB].Rect.Clone()
+	remaining := make([]Entry, 0, len(entries)-2)
+	for i := range entries {
+		if i != seedA && i != seedB {
+			remaining = append(remaining, entries[i])
+		}
+	}
+	for len(remaining) > 0 {
+		// If one group needs every remaining entry to reach the minimum
+		// fill, assign them all to it.
+		if len(groupA)+len(remaining) == m {
+			groupA = append(groupA, remaining...)
+			return groupA, groupB
+		}
+		if len(groupB)+len(remaining) == m {
+			groupB = append(groupB, remaining...)
+			return groupA, groupB
+		}
+		// Pick the entry with the maximum difference of enlargement costs.
+		bestIdx, bestDiff := -1, -1.0
+		var bestToA bool
+		for i, e := range remaining {
+			dA := mbbA.Enlargement(e.Rect)
+			dB := mbbB.Enlargement(e.Rect)
+			diff := dA - dB
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestIdx, bestDiff = i, diff
+				switch {
+				case dA < dB:
+					bestToA = true
+				case dB < dA:
+					bestToA = false
+				case mbbA.Volume() != mbbB.Volume():
+					bestToA = mbbA.Volume() < mbbB.Volume()
+				default:
+					bestToA = len(groupA) <= len(groupB)
+				}
+			}
+		}
+		e := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		if bestToA {
+			groupA = append(groupA, e)
+			mbbA = mbbA.Union(e.Rect)
+		} else {
+			groupB = append(groupB, e)
+			mbbB = mbbB.Union(e.Rect)
+		}
+	}
+	return groupA, groupB
+}
+
+// pickQuadraticSeeds returns the indexes of the pair of entries whose
+// combined MBB wastes the most area.
+func pickQuadraticSeeds(entries []Entry) (int, int) {
+	seedA, seedB := 0, 1
+	worst := -1.0
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			union := entries[i].Rect.Union(entries[j].Rect)
+			waste := union.Volume() - entries[i].Rect.Volume() - entries[j].Rect.Volume()
+			if waste > worst {
+				worst, seedA, seedB = waste, i, j
+			}
+		}
+	}
+	return seedA, seedB
+}
+
+// --- R* / RR* topological split ----------------------------------------------
+
+// splitRStar implements the R*-tree split: choose the split axis by the
+// minimum total margin over all candidate distributions, then the
+// distribution with the least overlap (volume), breaking ties by total
+// volume. With revised=true (the RR*-tree), overlap is measured by perimeter
+// when every candidate has zero volume overlap, which discriminates
+// distributions of degenerate rectangles — the perimeter-based goal function
+// of the revised R*-tree.
+func (t *Tree) splitRStar(entries []Entry, revised bool) ([]Entry, []Entry) {
+	m := t.cfg.MinEntries
+	dims := t.cfg.Dims
+	n := len(entries)
+
+	bestAxis, bestAxisMargin := -1, 0.0
+	for d := 0; d < dims; d++ {
+		margin := 0.0
+		for _, byUpper := range []bool{false, true} {
+			sorted := sortEntriesByAxis(entries, d, byUpper)
+			for k := m; k <= n-m; k++ {
+				left := geom.MBROf(entryRects(sorted[:k]))
+				right := geom.MBROf(entryRects(sorted[k:]))
+				margin += left.Margin() + right.Margin()
+			}
+		}
+		if bestAxis < 0 || margin < bestAxisMargin {
+			bestAxis, bestAxisMargin = d, margin
+		}
+	}
+
+	type candidate struct {
+		left, right   []Entry
+		overlapVol    float64
+		overlapMargin float64
+		totalVol      float64
+	}
+	var cands []candidate
+	for _, byUpper := range []bool{false, true} {
+		sorted := sortEntriesByAxis(entries, bestAxis, byUpper)
+		for k := m; k <= n-m; k++ {
+			left := append([]Entry(nil), sorted[:k]...)
+			right := append([]Entry(nil), sorted[k:]...)
+			lm := geom.MBROf(entryRects(left))
+			rm := geom.MBROf(entryRects(right))
+			inter, ok := lm.Intersection(rm)
+			ovVol, ovMargin := 0.0, 0.0
+			if ok {
+				ovVol = inter.Volume()
+				ovMargin = inter.Margin()
+			}
+			cands = append(cands, candidate{
+				left: left, right: right,
+				overlapVol: ovVol, overlapMargin: ovMargin,
+				totalVol: lm.Volume() + rm.Volume(),
+			})
+		}
+	}
+
+	useMargin := false
+	if revised {
+		useMargin = true
+		for _, c := range cands {
+			if c.overlapVol > 0 {
+				useMargin = false
+				break
+			}
+		}
+	}
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		a, b := cands[i], cands[best]
+		var aKey, bKey float64
+		if useMargin {
+			aKey, bKey = a.overlapMargin, b.overlapMargin
+		} else {
+			aKey, bKey = a.overlapVol, b.overlapVol
+		}
+		if aKey < bKey || (aKey == bKey && a.totalVol < b.totalVol) {
+			best = i
+		}
+	}
+	return cands[best].left, cands[best].right
+}
+
+func sortEntriesByAxis(entries []Entry, axis int, byUpper bool) []Entry {
+	out := append([]Entry(nil), entries...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if byUpper {
+			if out[i].Rect.Hi[axis] != out[j].Rect.Hi[axis] {
+				return out[i].Rect.Hi[axis] < out[j].Rect.Hi[axis]
+			}
+			return out[i].Rect.Lo[axis] < out[j].Rect.Lo[axis]
+		}
+		if out[i].Rect.Lo[axis] != out[j].Rect.Lo[axis] {
+			return out[i].Rect.Lo[axis] < out[j].Rect.Lo[axis]
+		}
+		return out[i].Rect.Hi[axis] < out[j].Rect.Hi[axis]
+	})
+	return out
+}
+
+func entryRects(entries []Entry) []geom.Rect {
+	out := make([]geom.Rect, len(entries))
+	for i := range entries {
+		out[i] = entries[i].Rect
+	}
+	return out
+}
+
+// --- Hilbert split -------------------------------------------------------------
+
+// splitHilbert splits an over-full node by Hilbert order of the entry
+// centres, keeping the curve-order invariant of the Hilbert R-tree. (The
+// original HR-tree defers splits with 2-to-3 redistribution; plain halving
+// is the standard simplification and only affects occupancy, not
+// correctness.)
+func (t *Tree) splitHilbert(entries []Entry) ([]Entry, []Entry) {
+	sorted := append([]Entry(nil), entries...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return t.curve.IndexRect(sorted[i].Rect) < t.curve.IndexRect(sorted[j].Rect)
+	})
+	half := len(sorted) / 2
+	if half < t.cfg.MinEntries {
+		half = t.cfg.MinEntries
+	}
+	if len(sorted)-half < t.cfg.MinEntries {
+		half = len(sorted) - t.cfg.MinEntries
+	}
+	left := append([]Entry(nil), sorted[:half]...)
+	right := append([]Entry(nil), sorted[half:]...)
+	return left, right
+}

@@ -1,0 +1,117 @@
+package rtree
+
+import (
+	"fmt"
+
+	"cbb/internal/geom"
+)
+
+// Validate checks the structural invariants of the tree and returns the
+// first violation found, or nil. It is used by tests and by the cbbinspect
+// tool; it never charges I/O.
+//
+// Invariants checked:
+//   - every node's entry count is within [MinEntries, MaxEntries], except
+//     the root (which may hold fewer) and single-leaf trees;
+//   - directory entries' rectangles equal the MBB of the referenced child;
+//   - parent pointers are consistent with directory entries;
+//   - all leaves are at level 0 and all levels are consistent
+//     (child level = parent level − 1);
+//   - the number of reachable objects equals Len().
+func (t *Tree) Validate() error {
+	if t.root == InvalidNode {
+		if t.size != 0 {
+			return fmt.Errorf("rtree: empty tree with size %d", t.size)
+		}
+		return nil
+	}
+	root := t.nodes[t.root]
+	if root.parent != InvalidNode {
+		return fmt.Errorf("rtree: root %d has parent %d", root.id, root.parent)
+	}
+	if root.level != t.height-1 {
+		return fmt.Errorf("rtree: root level %d does not match height %d", root.level, t.height)
+	}
+	objects := 0
+	var check func(id NodeID) error
+	check = func(id NodeID) error {
+		n := t.nodes[id]
+		if n == nil {
+			return fmt.Errorf("rtree: node %d is nil", id)
+		}
+		if len(n.entries) > t.cfg.MaxEntries {
+			return fmt.Errorf("rtree: node %d has %d entries (max %d)", id, len(n.entries), t.cfg.MaxEntries)
+		}
+		if id != t.root && len(n.entries) < t.cfg.MinEntries {
+			return fmt.Errorf("rtree: node %d has %d entries (min %d)", id, len(n.entries), t.cfg.MinEntries)
+		}
+		if n.leaf {
+			if n.level != 0 {
+				return fmt.Errorf("rtree: leaf %d at level %d", id, n.level)
+			}
+			objects += len(n.entries)
+			return nil
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			child := t.nodes[e.Child]
+			if child == nil {
+				return fmt.Errorf("rtree: node %d references missing child %d", id, e.Child)
+			}
+			if child.parent != id {
+				return fmt.Errorf("rtree: child %d has parent %d, expected %d", child.id, child.parent, id)
+			}
+			if child.level != n.level-1 {
+				return fmt.Errorf("rtree: child %d at level %d under parent at level %d", child.id, child.level, n.level)
+			}
+			childMBB := child.mbb()
+			if !e.Rect.Equal(childMBB) {
+				return fmt.Errorf("rtree: entry rect %v for child %d does not equal child MBB %v", e.Rect, child.id, childMBB)
+			}
+			if err := check(e.Child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := check(t.root); err != nil {
+		return err
+	}
+	if objects != t.size {
+		return fmt.Errorf("rtree: reachable objects %d != size %d", objects, t.size)
+	}
+	return nil
+}
+
+// Stats summarises structural statistics used by the evaluation figures.
+type Stats struct {
+	Objects    int
+	Height     int
+	LeafNodes  int
+	DirNodes   int
+	AvgLeafOcc float64 // average leaf occupancy as a fraction of MaxEntries
+	AvgDirOcc  float64 // average directory occupancy as a fraction of MaxEntries
+	Bounds     geom.Rect
+}
+
+// Stats computes the tree's structural statistics without charging I/O.
+func (t *Tree) Stats() Stats {
+	s := Stats{Objects: t.size, Height: t.height, Bounds: t.Bounds()}
+	var leafEntries, dirEntries int
+	t.Walk(func(info NodeInfo) {
+		if info.Leaf {
+			s.LeafNodes++
+			leafEntries += len(info.Children)
+		} else {
+			s.DirNodes++
+			dirEntries += len(info.Children)
+		}
+	})
+	if s.LeafNodes > 0 {
+		s.AvgLeafOcc = float64(leafEntries) / float64(s.LeafNodes*t.cfg.MaxEntries)
+	}
+	if s.DirNodes > 0 {
+		s.AvgDirOcc = float64(dirEntries) / float64(s.DirNodes*t.cfg.MaxEntries)
+	}
+	return s
+}

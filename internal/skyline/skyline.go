@@ -1,0 +1,233 @@
+// Package skyline computes oriented skylines and stairlines over point sets,
+// the candidate-generation machinery behind both clipped-bounding-box
+// variants of Šidlauskas et al. (ICDE 2018):
+//
+//   - The oriented skyline (Definition 5) of the child corner points with
+//     respect to an MBB corner b is exactly the set of valid object-situated
+//     clip points (CSKY).
+//   - The oriented stairline (Definition 7) additionally splices pairs of
+//     skyline points with mask ~b and keeps the splices that are themselves
+//     valid clip points, producing strictly more aggressive clip points
+//     (CSTA).
+//
+// The skyline is computed with a sort-and-scan algorithm that is O(n log n)
+// for two dimensions and O(n²) worst case in higher dimensions, which is the
+// standard approach for the tiny inputs involved (at most the node fan-out M).
+package skyline
+
+import (
+	"math"
+	"sort"
+
+	"cbb/internal/geom"
+)
+
+// Oriented returns the skyline of pts with respect to corner orientation b:
+// the subset of points not dominated by any other point (Definition 5).
+// Duplicate points are collapsed to a single representative. The result is
+// ordered by descending distance from the corner is NOT guaranteed; callers
+// that need an order should sort the result themselves.
+//
+// The input slice is not modified.
+func Oriented(pts []geom.Point, b geom.Corner) []geom.Point {
+	switch len(pts) {
+	case 0:
+		return nil
+	case 1:
+		return []geom.Point{pts[0].Clone()}
+	}
+	dims := pts[0].Dims()
+	if dims == 2 {
+		return oriented2D(pts, b)
+	}
+	return orientedGeneric(pts, b)
+}
+
+// oriented2D computes the skyline with a sort-and-scan pass: sort by
+// closeness to the corner in dimension 0 (ties broken by dimension 1), then
+// keep points whose dimension-1 coordinate improves on the best seen so far.
+func oriented2D(pts []geom.Point, b geom.Corner) []geom.Point {
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		p, q := pts[idx[x]], pts[idx[y]]
+		if p[0] != q[0] {
+			return geom.CloserToCorner(p, q, b, 0)
+		}
+		if p[1] != q[1] {
+			return geom.CloserToCorner(p, q, b, 1)
+		}
+		return false
+	})
+	var out []geom.Point
+	haveBest := false
+	var best float64
+	better := func(v float64) bool {
+		if !haveBest {
+			return true
+		}
+		if b.Bit(1) {
+			return v > best
+		}
+		return v < best
+	}
+	var prev geom.Point
+	for _, i := range idx {
+		p := pts[i]
+		if prev != nil && p.Equal(prev) {
+			continue
+		}
+		prev = p
+		if better(p[1]) {
+			out = append(out, p.Clone())
+			best = p[1]
+			haveBest = true
+		}
+	}
+	return out
+}
+
+// orientedGeneric computes the skyline by pairwise dominance checks. With
+// node fan-outs of a few dozen to a few hundred entries this is entirely
+// adequate and is also what the paper assumes ("small input sets (< M)").
+func orientedGeneric(pts []geom.Point, b geom.Corner) []geom.Point {
+	var out []geom.Point
+	for i, p := range pts {
+		dominated := false
+		duplicate := false
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if q.Equal(p) {
+				// Keep only the first occurrence of duplicates.
+				if j < i {
+					duplicate = true
+					break
+				}
+				continue
+			}
+			if geom.Dominates(q, p, b) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated && !duplicate {
+			out = append(out, p.Clone())
+		}
+	}
+	return out
+}
+
+// Stairline returns the union of the oriented skyline of pts w.r.t. b and
+// all valid splice points generated from pairs of skyline points
+// (Definition 7). A splice point s = splice(p, q, ~b) is valid when no
+// skyline point dominates it w.r.t. b — i.e. when clipping with s would not
+// clip away any child. Skyline points that are themselves dominated by a
+// generated splice point are redundant for clipping purposes but are still
+// returned; the CBB scoring stage in internal/core decides which candidates
+// to keep.
+//
+// The cost is cubic in the skyline size (pairs × validation scan), matching
+// the paper's "unfortunately-cubic algorithm that is still practically
+// reasonable given the small input sets".
+func Stairline(pts []geom.Point, b geom.Corner) []geom.Point {
+	sky := Oriented(pts, b)
+	if len(sky) < 2 {
+		return sky
+	}
+	dims := sky[0].Dims()
+	inv := b.Opposite(dims)
+	out := make([]geom.Point, len(sky))
+	copy(out, sky)
+	seen := make(map[string]struct{}, len(sky))
+	for _, p := range sky {
+		seen[key(p)] = struct{}{}
+	}
+	for i := 0; i < len(sky); i++ {
+		for j := i + 1; j < len(sky); j++ {
+			s := geom.Splice(sky[i], sky[j], inv)
+			k := key(s)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			if spliceValid(s, sky, b) {
+				out = append(out, s)
+				seen[k] = struct{}{}
+			}
+		}
+	}
+	return out
+}
+
+// SplicesOnly returns just the valid splice points (stairline minus the
+// skyline). Useful for analysing how much the splicing step adds.
+func SplicesOnly(pts []geom.Point, b geom.Corner) []geom.Point {
+	sky := Oriented(pts, b)
+	if len(sky) < 2 {
+		return nil
+	}
+	dims := sky[0].Dims()
+	inv := b.Opposite(dims)
+	var out []geom.Point
+	seen := make(map[string]struct{}, len(sky))
+	for _, p := range sky {
+		seen[key(p)] = struct{}{}
+	}
+	for i := 0; i < len(sky); i++ {
+		for j := i + 1; j < len(sky); j++ {
+			s := geom.Splice(sky[i], sky[j], inv)
+			k := key(s)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			if spliceValid(s, sky, b) {
+				out = append(out, s)
+				seen[k] = struct{}{}
+			}
+		}
+	}
+	return out
+}
+
+// spliceValid reports whether the splice point s is a valid clip point
+// candidate w.r.t. corner b given the skyline points of the children
+// (Line 6 of Algorithm 1): s is valid iff no child corner lies strictly
+// inside the region s would clip away. A child's nearest corner q cuts into
+// the open interior of that region exactly when q is strictly closer to the
+// MBB corner than s in every dimension, so boundary contact (as with the
+// spliced point c in the paper's Figure 2, which touches o1 and o4) does not
+// invalidate a splice.
+func spliceValid(s geom.Point, sky []geom.Point, b geom.Corner) bool {
+	for _, q := range sky {
+		if geom.StrictlyDominates(q, s, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsDominated reports whether p is dominated w.r.t. b by any point in set.
+func IsDominated(p geom.Point, set []geom.Point, b geom.Corner) bool {
+	for _, q := range set {
+		if geom.Dominates(q, p, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// key builds a map key from the exact bit patterns of the coordinates; it is
+// only used for de-duplicating identical points.
+func key(p geom.Point) string {
+	buf := make([]byte, 0, len(p)*8)
+	for _, v := range p {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf = append(buf, byte(bits>>(8*uint(i))))
+		}
+	}
+	return string(buf)
+}

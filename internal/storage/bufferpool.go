@@ -1,0 +1,86 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+)
+
+// BufferPool is an LRU page cache used to emulate a bounded main-memory
+// buffer in front of the simulated disk. The scalability experiment
+// (Figure 15 of the paper) starts with a cold buffer and lets the "OS cache"
+// retain recently touched nodes; BufferPool reproduces that behaviour and
+// reports hit/miss counts so experiments can charge a cost to misses.
+type BufferPool struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List               // front = most recently used
+	index    map[PageID]*list.Element // page id -> lru element
+	hits     int64
+	misses   int64
+}
+
+// NewBufferPool creates a pool holding at most capacity pages. A capacity of
+// zero or less means "unbounded" (everything is a hit after first touch).
+func NewBufferPool(capacity int) *BufferPool {
+	return &BufferPool{
+		capacity: capacity,
+		lru:      list.New(),
+		index:    make(map[PageID]*list.Element),
+	}
+}
+
+// Touch records an access to the page and reports whether it was a buffer
+// hit. On a miss the page is admitted, possibly evicting the least recently
+// used page.
+func (b *BufferPool) Touch(id PageID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if el, ok := b.index[id]; ok {
+		b.lru.MoveToFront(el)
+		b.hits++
+		return true
+	}
+	b.misses++
+	el := b.lru.PushFront(id)
+	b.index[id] = el
+	if b.capacity > 0 && b.lru.Len() > b.capacity {
+		victim := b.lru.Back()
+		if victim != nil {
+			b.lru.Remove(victim)
+			delete(b.index, victim.Value.(PageID))
+		}
+	}
+	return false
+}
+
+// Contains reports whether the page is currently buffered, without updating
+// recency or statistics.
+func (b *BufferPool) Contains(id PageID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.index[id]
+	return ok
+}
+
+// Len returns the number of buffered pages.
+func (b *BufferPool) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lru.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (b *BufferPool) Stats() (hits, misses int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hits, b.misses
+}
+
+// Reset empties the pool and zeroes the statistics (a "cold start").
+func (b *BufferPool) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lru.Init()
+	b.index = make(map[PageID]*list.Element)
+	b.hits, b.misses = 0, 0
+}

@@ -1,0 +1,170 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageID identifies a fixed-size page in a Pager. Zero is never a valid id.
+type PageID uint64
+
+// InvalidPage is the zero PageID, never returned by Allocate.
+const InvalidPage PageID = 0
+
+// DefaultPageSize is the page size used by the benchmark configuration of
+// the paper's R-tree implementations (4 KiB disk pages).
+const DefaultPageSize = 4096
+
+// Common pager errors.
+var (
+	ErrPageNotFound = errors.New("storage: page not found")
+	ErrPageTooLarge = errors.New("storage: payload exceeds page size")
+	ErrPagerClosed  = errors.New("storage: pager is closed")
+)
+
+// PageKind distinguishes directory pages, leaf pages, and auxiliary pages
+// (the clip table of Figure 4b) for storage-breakdown accounting.
+type PageKind uint8
+
+// Page kinds.
+const (
+	KindDirectory PageKind = iota
+	KindLeaf
+	KindAux
+)
+
+// String names the page kind.
+func (k PageKind) String() string {
+	switch k {
+	case KindDirectory:
+		return "directory"
+	case KindLeaf:
+		return "leaf"
+	case KindAux:
+		return "aux"
+	default:
+		return fmt.Sprintf("PageKind(%d)", uint8(k))
+	}
+}
+
+type page struct {
+	kind PageKind
+	data []byte
+}
+
+// Pager is an in-memory simulation of a paged disk file: it hands out
+// fixed-size pages, tracks how many bytes of each kind are in use, and
+// rejects payloads that do not fit a page. It is safe for concurrent use.
+type Pager struct {
+	mu       sync.RWMutex
+	pageSize int
+	next     PageID
+	pages    map[PageID]*page
+	closed   bool
+}
+
+// NewPager creates a pager with the given page size (DefaultPageSize when
+// pageSize <= 0).
+func NewPager(pageSize int) *Pager {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &Pager{pageSize: pageSize, next: 1, pages: make(map[PageID]*page)}
+}
+
+// PageSize returns the configured page size in bytes.
+func (p *Pager) PageSize() int { return p.pageSize }
+
+// Allocate reserves a new page of the given kind and returns its id.
+func (p *Pager) Allocate(kind PageKind) (PageID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return InvalidPage, ErrPagerClosed
+	}
+	id := p.next
+	p.next++
+	p.pages[id] = &page{kind: kind}
+	return id, nil
+}
+
+// Write stores the payload in the page. The payload must fit in one page.
+func (p *Pager) Write(id PageID, payload []byte) error {
+	if len(payload) > p.pageSize {
+		return fmt.Errorf("%w: %d > %d", ErrPageTooLarge, len(payload), p.pageSize)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPagerClosed
+	}
+	pg, ok := p.pages[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+	pg.data = append(pg.data[:0], payload...)
+	return nil
+}
+
+// Read returns a copy of the page payload and its kind.
+func (p *Pager) Read(id PageID) ([]byte, PageKind, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return nil, 0, ErrPagerClosed
+	}
+	pg, ok := p.pages[id]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+	out := make([]byte, len(pg.data))
+	copy(out, pg.data)
+	return out, pg.kind, nil
+}
+
+// Free releases a page.
+func (p *Pager) Free(id PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPagerClosed
+	}
+	if _, ok := p.pages[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+	delete(p.pages, id)
+	return nil
+}
+
+// Close releases all pages; subsequent operations fail with ErrPagerClosed.
+func (p *Pager) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	p.pages = nil
+}
+
+// Usage describes how many pages and payload bytes of each kind are in use.
+type Usage struct {
+	Pages      map[PageKind]int
+	Bytes      map[PageKind]int
+	TotalPages int
+	TotalBytes int
+}
+
+// Usage returns a storage breakdown by page kind (used by the Figure 13
+// experiment). Bytes counts actual payload bytes; PageBytes (pages × page
+// size) can be derived by the caller.
+func (p *Pager) Usage() Usage {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	u := Usage{Pages: make(map[PageKind]int), Bytes: make(map[PageKind]int)}
+	for _, pg := range p.pages {
+		u.Pages[pg.kind]++
+		u.Bytes[pg.kind] += len(pg.data)
+		u.TotalPages++
+		u.TotalBytes += len(pg.data)
+	}
+	return u
+}

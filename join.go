@@ -1,0 +1,66 @@
+package cbb
+
+import (
+	"errors"
+
+	"cbb/internal/join"
+)
+
+// JoinPair is one result of a spatial join: the ids of two intersecting
+// objects, one from each input.
+type JoinPair struct {
+	Left  ObjectID
+	Right ObjectID
+}
+
+// JoinResult summarises a spatial join: the number of intersecting pairs and
+// the simulated I/O the join incurred.
+type JoinResult struct {
+	Pairs int64
+	IO    IOStats
+}
+
+// IndexNestedLoopJoin joins the indexed tree with a set of probe items by
+// running one range query per probe (the paper's INLJ strategy, used when
+// only one input is indexed). The optional visit callback receives every
+// matching pair; pass nil to only count.
+func IndexNestedLoopJoin(indexed *Tree, probes []Item, visit func(JoinPair)) (JoinResult, error) {
+	if indexed == nil {
+		return JoinResult{}, errors.New("cbb: IndexNestedLoopJoin requires an indexed tree")
+	}
+	var cb func(join.Pair)
+	if visit != nil {
+		cb = func(p join.Pair) { visit(JoinPair{Left: p.Left, Right: p.Right}) }
+	}
+	res, err := join.INLJ(indexed.internalTree(), indexed.internalIndex(), probes, cb)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	return JoinResult{
+		Pairs: res.Pairs,
+		IO:    IOStats{LeafReads: res.IO.LeafReads, DirReads: res.IO.DirReads, Writes: res.IO.Writes, Reclips: res.IO.Reclips},
+	}, nil
+}
+
+// SynchronizedTreeTraversalJoin joins two indexed trees by descending both
+// hierarchies in lockstep (the paper's STT strategy, used when both inputs
+// are indexed). Clipping is applied on whichever inputs have it enabled: a
+// subtree pair is skipped when either side's overlap with the other's MBB is
+// certified dead space.
+func SynchronizedTreeTraversalJoin(left, right *Tree, visit func(JoinPair)) (JoinResult, error) {
+	if left == nil || right == nil {
+		return JoinResult{}, errors.New("cbb: SynchronizedTreeTraversalJoin requires two indexed trees")
+	}
+	var cb func(join.Pair)
+	if visit != nil {
+		cb = func(p join.Pair) { visit(JoinPair{Left: p.Left, Right: p.Right}) }
+	}
+	res, err := join.STT(left.internalTree(), right.internalTree(), left.internalIndex(), right.internalIndex(), cb)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	return JoinResult{
+		Pairs: res.Pairs,
+		IO:    IOStats{LeafReads: res.IO.LeafReads, DirReads: res.IO.DirReads, Writes: res.IO.Writes, Reclips: res.IO.Reclips},
+	}, nil
+}
