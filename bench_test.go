@@ -10,6 +10,7 @@ package cbb
 // and I/O reductions, counts for leaf accesses.
 
 import (
+	"fmt"
 	"testing"
 
 	"cbb/internal/core"
@@ -322,5 +323,52 @@ func BenchmarkAblation_ScoreApproximation(b *testing.B) {
 			}
 			b.ReportMetric(float64(idx.Table().ClipPointCount()), "clip_points")
 		}
+	}
+}
+
+// BenchmarkBatchSearchWorkers measures the parallel query engine: the same
+// range-query batch over the uniform par02 dataset executed by 1, 2, 4, and
+// 8 workers. Wall-clock scaling tracks the number of physical cores (on a
+// single-core machine all worker counts perform alike); the reported leaf
+// reads are identical across worker counts by construction.
+func BenchmarkBatchSearchWorkers(b *testing.B) {
+	cfg := benchConfig("par02")
+	cfg.Scale = 20000
+	cfg.Queries = 300
+	ds, err := cfg.LoadDataset("par02")
+	if err != nil {
+		b.Fatal(err)
+	}
+	querySet, err := cfg.QuerySet(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var batch []Rect
+	for _, qs := range querySet {
+		batch = append(batch, qs...)
+	}
+	tree, err := New(Options{Dims: 2, Variant: RStarTree})
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := make([]Item, len(ds.Items))
+	copy(items, ds.Items)
+	if err := tree.BulkLoad(items); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var leafReads int64
+			for i := 0; i < b.N; i++ {
+				res, err := BatchSearch(tree, batch, BatchOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				leafReads = res.IO.LeafReads
+			}
+			b.ReportMetric(float64(leafReads), "leaf_reads")
+			b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+		})
 	}
 }

@@ -24,6 +24,19 @@
 // Clipping is on by default (stairline clip points, the paper's CSTA); use
 // Options.Clipping to select skyline clipping or to disable clipping
 // entirely, e.g. to measure the I/O difference via Tree.IOStats.
+//
+// # Concurrency
+//
+// A Tree is not safe for concurrent mutation (Insert, Delete, BulkLoad,
+// AttachBufferPool, ResetIOStats), but once construction and updates have
+// finished, any number of goroutines may query it concurrently: Search,
+// SearchAll, Count, NearestNeighbors, BatchSearch, and both spatial joins
+// are safe for concurrent readers. The read path touches only immutable
+// tree and clip-table state, the atomic I/O counters, and the
+// mutex-protected optional buffer pool; this guarantee is enforced by
+// race-detector regression tests. BatchSearch and the Workers join option
+// exploit it to fan work out over a goroutine pool while keeping result
+// counts and I/O accounting exactly equal to a sequential run.
 package cbb
 
 import (
@@ -33,6 +46,7 @@ import (
 	"cbb/internal/clipindex"
 	"cbb/internal/core"
 	"cbb/internal/geom"
+	"cbb/internal/parallel"
 	"cbb/internal/rtree"
 	"cbb/internal/storage"
 )
@@ -167,8 +181,10 @@ func (o Options) clipParams() core.Params {
 
 // Tree is a spatial index: an R-tree of the configured variant, optionally
 // augmented with clipped bounding boxes. It is not safe for concurrent
-// mutation; concurrent read-only searches are safe once construction and
-// updates have finished.
+// mutation; concurrent read-only queries (Search, SearchAll, Count,
+// NearestNeighbors, BatchSearch, joins) are safe once construction and
+// updates have finished — see the package documentation's Concurrency
+// section.
 type Tree struct {
 	opts Options
 	tree *rtree.Tree
@@ -282,6 +298,63 @@ func (t *Tree) Count(q Rect) int {
 	return n
 }
 
+// BatchOptions configures BatchSearch.
+type BatchOptions struct {
+	// Workers is the number of goroutines the batch is fanned out over;
+	// 0 (or negative) uses GOMAXPROCS, 1 runs sequentially. The effective
+	// count is clamped to the number of queries.
+	Workers int
+	// Collect gathers the matching items of every query in
+	// BatchResult.Items instead of only counting matches.
+	Collect bool
+}
+
+// BatchResult is the outcome of a BatchSearch, index-aligned with the query
+// batch. Counts, Items, and IO are deterministic: they equal what a
+// sequential loop over the same queries would produce, for any worker count.
+type BatchResult struct {
+	// Counts holds the number of matches of each query.
+	Counts []int
+	// Items holds the matches of each query (nil unless Options.Collect).
+	Items [][]Item
+	// IO is the exact I/O incurred by this batch, merged from the workers'
+	// private counters (it is also added to the tree's cumulative IOStats).
+	IO IOStats
+	// Workers is the number of goroutines actually used.
+	Workers int
+}
+
+// BatchSearch runs a batch of range queries against the tree on a pool of
+// worker goroutines (the clipped search path when clipping is enabled).
+// Every worker charges a private I/O counter and the per-worker totals are
+// merged afterwards, so BatchResult.IO is exact and the tree's cumulative
+// IOStats advance exactly as in a sequential run. BatchSearch is itself safe
+// to call concurrently with other read-only queries.
+func BatchSearch(t *Tree, queries []Rect, opts BatchOptions) (BatchResult, error) {
+	if t == nil {
+		return BatchResult{}, errors.New("cbb: BatchSearch requires a tree")
+	}
+	popts := parallel.Options{
+		Workers: opts.Workers,
+		Collect: opts.Collect,
+		Main:    t.tree.Counter(),
+	}
+	var searcher parallel.Searcher = t.tree
+	if t.idx != nil {
+		searcher = t.idx
+	}
+	res := parallel.RunBatch(searcher, queries, popts)
+	out := BatchResult{
+		Counts:  res.Counts,
+		Workers: res.Workers,
+		IO:      toIOStats(res.IO),
+	}
+	if opts.Collect {
+		out.Items = res.Items
+	}
+	return out, nil
+}
+
 // Neighbor is one result of a nearest-neighbour query.
 type Neighbor struct {
 	Object ObjectID
@@ -314,15 +387,62 @@ type IOStats struct {
 	Reclips   int64
 }
 
-// IOStats returns the accumulated I/O counters.
-func (t *Tree) IOStats() IOStats {
-	s := t.tree.Counter().Snapshot()
+// toIOStats converts an internal counter snapshot into the public IOStats.
+func toIOStats(s storage.Snapshot) IOStats {
 	return IOStats{LeafReads: s.LeafReads, DirReads: s.DirReads, Writes: s.Writes, Reclips: s.Reclips}
 }
 
-// ResetIOStats zeroes the I/O counters (typically called before a measured
-// query batch).
-func (t *Tree) ResetIOStats() { t.tree.Counter().Reset() }
+// IOStats returns the accumulated I/O counters.
+func (t *Tree) IOStats() IOStats {
+	return toIOStats(t.tree.Counter().Snapshot())
+}
+
+// ResetIOStats zeroes the I/O counters and, when a buffer pool is attached,
+// also empties the pool and zeroes its hit/miss statistics (a cold start).
+// It is typically called before a measured query batch; resetting both
+// together guarantees that no buffer state leaks from one measured run into
+// the next.
+func (t *Tree) ResetIOStats() { t.tree.ResetIO() }
+
+// AttachBufferPool places an LRU buffer pool of the given node capacity in
+// front of the simulated disk: every node access additionally touches the
+// pool, and BufferStats reports how many accesses hit it. A capacity <= 0
+// means unbounded (everything hits after first touch). Attaching replaces
+// any previous pool and must not race with concurrent queries; attach before
+// the read phase starts.
+func (t *Tree) AttachBufferPool(capacity int) {
+	t.tree.SetBufferPool(storage.NewBufferPool(capacity))
+}
+
+// DetachBufferPool removes the attached buffer pool, if any.
+func (t *Tree) DetachBufferPool() { t.tree.SetBufferPool(nil) }
+
+// BufferStats reports the hit/miss counts of the attached buffer pool.
+type BufferStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// HitRate returns the fraction of accesses served from the buffer (0 when
+// the pool has not been touched).
+func (s BufferStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// BufferStats returns the attached pool's statistics; ok is false when no
+// pool is attached.
+func (t *Tree) BufferStats() (stats BufferStats, ok bool) {
+	p := t.tree.BufferPool()
+	if p == nil {
+		return BufferStats{}, false
+	}
+	hits, misses := p.Stats()
+	return BufferStats{Hits: hits, Misses: misses}, true
+}
 
 // Stats summarises the structure of the index.
 type Stats struct {

@@ -11,7 +11,10 @@
 //	cbbench -exp table1 -datasets rea02,axo03 -variants "R*-tree,RR*-tree"
 //
 // Experiments: fig01, fig08, fig09, fig10, fig11, table1, fig12, fig13,
-// fig14, join, fig15, all.
+// fig14, join, fig15, throughput, all. The throughput experiment goes
+// beyond the paper: it sweeps the parallel query engine's worker count
+// (bounded by -workers) and reports queries/sec next to the leaf-access
+// metric.
 package main
 
 import (
@@ -28,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (fig01,fig08,fig09,fig10,fig11,table1,fig12,fig13,fig14,join,fig15,all)")
+		exp      = flag.String("exp", "all", "experiment to run (fig01,fig08,fig09,fig10,fig11,table1,fig12,fig13,fig14,join,fig15,throughput,all)")
 		scale    = flag.Int("scale", 20000, "objects per dataset")
 		queries  = flag.Int("queries", 200, "queries per selectivity profile")
 		seed     = flag.Int64("seed", 42, "random seed")
@@ -36,6 +39,7 @@ func main() {
 		dsFlag   = flag.String("datasets", "", "comma-separated dataset subset (default: all seven)")
 		varFlag  = flag.String("variants", "", "comma-separated variant subset (QR-tree,HR-tree,R*-tree,RR*-tree)")
 		tau      = flag.Float64("tau", 0.025, "clip-point volume threshold τ")
+		workers  = flag.Int("workers", 8, "maximum worker count of the parallel throughput sweep")
 		listOnly = flag.Bool("list", false, "list datasets and experiments, then exit")
 	)
 	flag.Parse()
@@ -45,7 +49,7 @@ func main() {
 		for _, s := range datasets.Specs {
 			fmt.Printf("  %-6s %dd  default %d objects  (%s)\n", s.Name, s.Dims, s.DefaultSize, s.Description)
 		}
-		fmt.Println("experiments: fig01 fig08 fig09 fig10 fig11 table1 fig12 fig13 fig14 join fig15 all")
+		fmt.Println("experiments: fig01 fig08 fig09 fig10 fig11 table1 fig12 fig13 fig14 join fig15 throughput all")
 		return
 	}
 
@@ -67,11 +71,11 @@ func main() {
 		cfg.Variants = variants
 	}
 
-	runner := newRunner(cfg)
+	runner := newRunner(cfg, *workers)
 	which := strings.ToLower(strings.TrimSpace(*exp))
 	names := []string{which}
 	if which == "all" {
-		names = []string{"fig01", "fig08", "fig09", "fig10", "fig11", "table1", "fig12", "fig13", "fig14", "join", "fig15"}
+		names = []string{"fig01", "fig08", "fig09", "fig10", "fig11", "table1", "fig12", "fig13", "fig14", "join", "fig15", "throughput"}
 	}
 	for _, name := range names {
 		if err := runner.run(name); err != nil {
@@ -81,11 +85,14 @@ func main() {
 }
 
 type runner struct {
-	cfg   experiments.Config
-	fig11 *experiments.Fig11Result // cached for table1
+	cfg     experiments.Config
+	workers int
+	fig11   *experiments.Fig11Result // cached for table1
 }
 
-func newRunner(cfg experiments.Config) *runner { return &runner{cfg: cfg} }
+func newRunner(cfg experiments.Config, workers int) *runner {
+	return &runner{cfg: cfg, workers: workers}
+}
 
 func (r *runner) run(name string) error {
 	start := time.Now()
@@ -153,6 +160,12 @@ func (r *runner) run(name string) error {
 		tables = []*experiments.Table{res.Table()}
 	case "fig15":
 		res, err := experiments.RunFig15(r.cfg)
+		if err != nil {
+			return err
+		}
+		tables = []*experiments.Table{res.Table()}
+	case "throughput":
+		res, err := experiments.RunThroughput(r.cfg, r.workers)
 		if err != nil {
 			return err
 		}

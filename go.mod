@@ -1,0 +1,3 @@
+module cbb
+
+go 1.24

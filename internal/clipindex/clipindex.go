@@ -182,7 +182,19 @@ func (x *Index) reclipByID(id rtree.NodeID) {
 // Search finds every object intersecting q, using clip points to skip child
 // nodes whose overlap with q is entirely dead space. Results are identical
 // to an unclipped search; only the I/O differs.
+//
+// Like the underlying tree's Search, it is safe for any number of concurrent
+// readers once construction and updates have finished: the search reads only
+// the immutable clip table and node state.
 func (x *Index) Search(q geom.Rect, visit func(rtree.ObjectID, geom.Rect) bool) {
+	x.SearchCounted(q, nil, visit)
+}
+
+// SearchCounted is Search with the node accesses charged to an explicit
+// counter instead of the tree's own (the tree's counter when c is nil), the
+// hook parallel executors use to give each worker goroutine private I/O
+// accounting.
+func (x *Index) SearchCounted(q geom.Rect, c *storage.Counter, visit func(rtree.ObjectID, geom.Rect) bool) {
 	if x.tree.RootID() == rtree.InvalidNode {
 		return
 	}
@@ -193,13 +205,13 @@ func (x *Index) Search(q geom.Rect, visit func(rtree.ObjectID, geom.Rect) bool) 
 			return
 		}
 	}
-	x.tree.SearchFiltered(q, func(child rtree.NodeID, childMBB geom.Rect) bool {
+	x.tree.SearchFilteredCounted(q, func(child rtree.NodeID, childMBB geom.Rect) bool {
 		clips := x.table[child]
 		if len(clips) == 0 {
 			return true
 		}
 		return core.Intersects(childMBB, clips, q, core.SelectorQuery)
-	}, visit)
+	}, c, visit)
 }
 
 // Count returns the number of objects intersecting q using the clipped

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunThroughput(t *testing.T) {
+	res, err := RunThroughput(tinyConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two indexes (plain and CSTA) x worker counts 1, 2, 4.
+	if len(res.Rows) != 6 {
+		t.Fatalf("expected 6 rows, got %d", len(res.Rows))
+	}
+	byIndex := make(map[string][]ThroughputRow)
+	for _, row := range res.Rows {
+		if row.Queries <= 0 || row.QPS <= 0 || row.Speedup <= 0 {
+			t.Fatalf("degenerate row: %+v", row)
+		}
+		byIndex[row.Index] = append(byIndex[row.Index], row)
+	}
+	for index, rows := range byIndex {
+		for _, row := range rows[1:] {
+			// The exactness guarantee: worker count changes wall-clock time
+			// only, never results or the paper's I/O metric.
+			if row.Results != rows[0].Results {
+				t.Errorf("%s: %d workers found %d results, 1 worker found %d", index, row.Workers, row.Results, rows[0].Results)
+			}
+			if row.LeafIO != rows[0].LeafIO {
+				t.Errorf("%s: %d workers charged %d leaf reads, 1 worker charged %d", index, row.Workers, row.LeafIO, rows[0].LeafIO)
+			}
+		}
+	}
+	clipped, plain := byIndex["CSTA-RR*"], byIndex["RR*"]
+	if len(clipped) == 0 || len(plain) == 0 {
+		t.Fatalf("missing index rows: %v", byIndex)
+	}
+	if clipped[0].LeafIO > plain[0].LeafIO {
+		t.Errorf("clipping increased leaf I/O: %d > %d", clipped[0].LeafIO, plain[0].LeafIO)
+	}
+
+	table := res.Table().String()
+	for _, want := range []string{"workers", "queries/sec", "speedup", "buffer hit"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing column %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestRunThroughputDefaultWorkers(t *testing.T) {
+	res, err := RunThroughput(tinyConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// maxWorkers <= 0 defaults to 8: worker counts 1, 2, 4, 8 per index.
+	if len(res.Rows) != 8 {
+		t.Fatalf("expected 8 rows, got %d", len(res.Rows))
+	}
+}

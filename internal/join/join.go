@@ -5,14 +5,24 @@
 // clipped bounding boxes; with clipping, a child node is skipped when the
 // probe rectangle (INLJ) or the partner subtree's MBB (STT) lies entirely in
 // the child's clipped dead space.
+//
+// Both strategies also come in parallel variants (PINLJ, PSTT) that fan the
+// work out over a pool of goroutines: PINLJ partitions the probe set, PSTT
+// partitions the admissible pairs of root children. Every worker charges a
+// private storage.Counter, so the reported I/O is exact and — like the pair
+// count — identical to the sequential run regardless of scheduling.
 package join
 
 import (
 	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"cbb/internal/clipindex"
 	"cbb/internal/core"
 	"cbb/internal/geom"
+	"cbb/internal/parallel"
 	"cbb/internal/rtree"
 	"cbb/internal/storage"
 )
@@ -38,30 +48,56 @@ type Result struct {
 // is nil the plain tree is probed; otherwise the clipped search path is
 // used. The visit callback is optional.
 func INLJ(tree *rtree.Tree, idx *clipindex.Index, probes []rtree.Item, visit func(Pair)) (Result, error) {
+	return PINLJ(tree, idx, probes, 1, visit)
+}
+
+// PINLJ is INLJ fanned out over a pool of worker goroutines, each probing a
+// partition of the probe set with a private I/O counter; workers <= 0 uses
+// GOMAXPROCS and 1 reproduces the sequential INLJ exactly. The merged I/O is
+// folded back into the tree's counter, so accumulated IOStats match a
+// sequential run. When visit is non-nil it is serialised by a mutex but the
+// pair order across probes is unspecified for workers > 1.
+func PINLJ(tree *rtree.Tree, idx *clipindex.Index, probes []rtree.Item, workers int, visit func(Pair)) (Result, error) {
 	if tree == nil {
 		return Result{}, errors.New("join: INLJ requires an indexed input")
 	}
 	if idx != nil && idx.Tree() != tree {
 		return Result{}, errors.New("join: clip index does not belong to the probed tree")
 	}
-	counter := tree.Counter()
-	before := counter.Snapshot()
-	var pairs int64
-	for _, probe := range probes {
-		emit := func(id rtree.ObjectID, _ geom.Rect) bool {
-			pairs++
-			if visit != nil {
-				visit(Pair{Left: id, Right: probe.Object})
-			}
-			return true
-		}
-		if idx != nil {
-			idx.Search(probe.Rect, emit)
-		} else {
-			tree.Search(probe.Rect, emit)
-		}
+	workers = parallel.EffectiveWorkers(workers, len(probes))
+	if len(probes) == 0 {
+		return Result{}, nil
 	}
-	return Result{Pairs: pairs, IO: storage.Diff(before, counter.Snapshot())}, nil
+
+	emit := serializedVisit(visit, workers)
+
+	var pairs int64
+	snapshots := parallel.ForEachChunk(len(probes), workers, func(_, start, end int, c *storage.Counter) {
+		var local int64
+		for i := start; i < end; i++ {
+			probe := probes[i]
+			found := func(id rtree.ObjectID, _ geom.Rect) bool {
+				local++
+				if emit != nil {
+					emit(Pair{Left: id, Right: probe.Object})
+				}
+				return true
+			}
+			if idx != nil {
+				idx.SearchCounted(probe.Rect, c, found)
+			} else {
+				tree.SearchCounted(probe.Rect, c, found)
+			}
+		}
+		atomic.AddInt64(&pairs, local)
+	})
+
+	res := Result{Pairs: pairs}
+	for _, s := range snapshots {
+		res.IO = res.IO.Add(s)
+	}
+	tree.Counter().Add(res.IO)
+	return res, nil
 }
 
 // STT performs a synchronised tree traversal join of two indexed inputs.
@@ -71,9 +107,21 @@ func INLJ(tree *rtree.Tree, idx *clipindex.Index, probes []rtree.Item, visit fun
 // overlap with the other's MBB lies entirely in clipped dead space.
 //
 // Both trees must use distinct I/O counters or the same counter; the
-// reported IO is the sum of the deltas of both counters (counted once if
+// reported IO is the sum of the I/O charged to both trees (counted once if
 // shared).
 func STT(left, right *rtree.Tree, leftIdx, rightIdx *clipindex.Index, visit func(Pair)) (Result, error) {
+	return PSTT(left, right, leftIdx, rightIdx, 1, visit)
+}
+
+// PSTT is STT fanned out over a pool of worker goroutines: the roots are
+// read once, the admissible pairs of root children are partitioned across
+// the workers, and each worker traverses its pairs with private I/O
+// counters; workers <= 0 uses GOMAXPROCS and 1 reproduces the sequential
+// STT exactly. Pair counts and total I/O are identical to the sequential
+// join. When visit is non-nil it is serialised by a mutex but the pair
+// order is unspecified for workers > 1. Trees whose root is a leaf fall
+// back to the sequential traversal.
+func PSTT(left, right *rtree.Tree, leftIdx, rightIdx *clipindex.Index, workers int, visit func(Pair)) (Result, error) {
 	if left == nil || right == nil {
 		return Result{}, errors.New("join: STT requires two indexed inputs")
 	}
@@ -86,32 +134,118 @@ func STT(left, right *rtree.Tree, leftIdx, rightIdx *clipindex.Index, visit func
 	if rightIdx != nil && rightIdx.Tree() != right {
 		return Result{}, errors.New("join: right clip index does not belong to the right tree")
 	}
-	lb := left.Counter().Snapshot()
-	var rb storage.Snapshot
+	if left.RootID() == rtree.InvalidNode || right.RootID() == rtree.InvalidNode {
+		return Result{}, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
 	shared := left.Counter() == right.Counter()
-	if !shared {
-		rb = right.Counter().Snapshot()
+	// newJoiner builds a traversal state charging private counters; leftCtr
+	// may be supplied (the per-worker counter of ForEachChunk) or nil for a
+	// fresh one. With a shared tree counter one private counter receives
+	// both sides so the I/O is counted once, as in the sequential join.
+	newJoiner := func(emit func(Pair), leftCtr *storage.Counter) *sttJoiner {
+		if leftCtr == nil {
+			leftCtr = &storage.Counter{}
+		}
+		j := &sttJoiner{
+			left: left, right: right,
+			leftClips:  tableOrNil(leftIdx),
+			rightClips: tableOrNil(rightIdx),
+			visit:      emit,
+			leftCtr:    leftCtr,
+		}
+		if shared {
+			j.rightCtr = j.leftCtr
+		} else {
+			j.rightCtr = &storage.Counter{}
+		}
+		return j
+	}
+	// finalize folds the joiners' private counters back into the trees'
+	// counters and sums the joint I/O (counted once when shared).
+	finalize := func(joiners ...*sttJoiner) Result {
+		var res Result
+		var leftIO, rightIO storage.Snapshot
+		for _, j := range joiners {
+			res.Pairs += j.pairs
+			leftIO = leftIO.Add(j.leftCtr.Snapshot())
+			if !shared {
+				rightIO = rightIO.Add(j.rightCtr.Snapshot())
+			}
+		}
+		left.Counter().Add(leftIO)
+		if !shared {
+			right.Counter().Add(rightIO)
+		}
+		res.IO = leftIO.Add(rightIO)
+		return res
 	}
 
-	j := &sttJoiner{
-		left: left, right: right,
-		leftClips:  tableOrNil(leftIdx),
-		rightClips: tableOrNil(rightIdx),
-		visit:      visit,
-	}
-	if left.RootID() != rtree.InvalidNode && right.RootID() != rtree.InvalidNode {
+	linfo, lerr := left.Node(left.RootID())
+	rinfo, rerr := right.Node(right.RootID())
+	if workers <= 1 || lerr != nil || rerr != nil || linfo.Leaf || rinfo.Leaf {
+		j := newJoiner(visit, nil)
 		j.joinNodes(left.RootID(), right.RootID())
+		return finalize(j), nil
 	}
 
-	io := storage.Diff(lb, left.Counter().Snapshot())
-	if !shared {
-		rio := storage.Diff(rb, right.Counter().Snapshot())
-		io.LeafReads += rio.LeafReads
-		io.DirReads += rio.DirReads
-		io.Writes += rio.Writes
-		io.Reclips += rio.Reclips
+	// The sequential traversal reads both roots, then recurses into every
+	// admissible pair of root children; partition exactly those pairs.
+	root := newJoiner(nil, nil)
+	root.chargeRead(left, linfo)
+	root.chargeRead(right, rinfo)
+	type task struct{ l, r rtree.NodeID }
+	var tasks []task
+	for i := range linfo.Children {
+		for k := range rinfo.Children {
+			lc, rc := linfo.Children[i], rinfo.Children[k]
+			if root.admissible(lc.Child, lc.Rect, rc.Child, rc.Rect) {
+				tasks = append(tasks, task{lc.Child, rc.Child})
+			}
+		}
 	}
-	return Result{Pairs: j.pairs, IO: io}, nil
+	workers = parallel.EffectiveWorkers(workers, len(tasks))
+	if len(tasks) == 0 {
+		return finalize(root), nil
+	}
+
+	emit := serializedVisit(visit, workers)
+	joiners := make([]*sttJoiner, workers)
+	parallel.ForEachChunk(len(tasks), workers, func(w, start, end int, c *storage.Counter) {
+		j := joiners[w]
+		if j == nil {
+			j = newJoiner(emit, c)
+			joiners[w] = j
+		}
+		for i := start; i < end; i++ {
+			j.joinNodes(tasks[i].l, tasks[i].r)
+		}
+	})
+	live := []*sttJoiner{root}
+	for _, j := range joiners {
+		if j != nil {
+			live = append(live, j)
+		}
+	}
+	return finalize(live...), nil
+}
+
+// serializedVisit wraps a join callback in a mutex when more than one worker
+// will emit pairs, so user callbacks never run concurrently; a nil visit or
+// a single worker passes through untouched.
+func serializedVisit(visit func(Pair), workers int) func(Pair) {
+	if visit == nil || workers <= 1 {
+		return visit
+	}
+	var mu sync.Mutex
+	return func(p Pair) {
+		mu.Lock()
+		visit(p)
+		mu.Unlock()
+	}
 }
 
 func tableOrNil(idx *clipindex.Index) clipindex.Table {
@@ -124,8 +258,11 @@ func tableOrNil(idx *clipindex.Index) clipindex.Table {
 type sttJoiner struct {
 	left, right           *rtree.Tree
 	leftClips, rightClips clipindex.Table
-	visit                 func(Pair)
-	pairs                 int64
+	// leftCtr and rightCtr receive the node accesses of the respective tree;
+	// they point at the same counter when the trees share one.
+	leftCtr, rightCtr *storage.Counter
+	visit             func(Pair)
+	pairs             int64
 }
 
 // admissible applies the clipped intersection test in both directions for a
@@ -269,9 +406,9 @@ func (j *sttJoiner) joinNodeWithLeaf(other *rtree.Tree, otherID rtree.NodeID, ot
 }
 
 func (j *sttJoiner) chargeRead(t *rtree.Tree, info rtree.NodeInfo) {
-	if info.Leaf {
-		t.Counter().LeafRead(1)
-	} else {
-		t.Counter().DirRead(1)
+	c := j.rightCtr
+	if t == j.left {
+		c = j.leftCtr
 	}
+	t.ChargeRead(info.ID, info.Leaf, c)
 }

@@ -1,0 +1,148 @@
+package parallel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cbb/internal/clipindex"
+	"cbb/internal/core"
+	"cbb/internal/geom"
+	"cbb/internal/rtree"
+	"cbb/internal/storage"
+)
+
+func buildTree(t *testing.T, n int) (*rtree.Tree, []geom.Rect) {
+	t.Helper()
+	tr := rtree.MustNew(rtree.DefaultConfig(2, rtree.RStar))
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		w, h := rng.Float64()*5, rng.Float64()*5
+		if _, err := tr.Insert(geom.R(x, y, x+w, y+h), rtree.ObjectID(i)); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	queries := make([]geom.Rect, 200)
+	for i := range queries {
+		x, y := rng.Float64()*950, rng.Float64()*950
+		s := 5 + rng.Float64()*45
+		queries[i] = geom.R(x, y, x+s, y+s)
+	}
+	return tr, queries
+}
+
+func sequentialBaseline(tr *rtree.Tree, queries []geom.Rect) ([]int, storage.Snapshot) {
+	var c storage.Counter
+	counts := make([]int, len(queries))
+	for i, q := range queries {
+		tr.SearchCounted(q, &c, func(rtree.ObjectID, geom.Rect) bool {
+			counts[i]++
+			return true
+		})
+	}
+	return counts, c.Snapshot()
+}
+
+func TestRunBatchMatchesSequential(t *testing.T) {
+	tr, queries := buildTree(t, 3000)
+	wantCounts, wantIO := sequentialBaseline(tr, queries)
+
+	for _, workers := range []int{1, 2, 4, 7} {
+		res := RunBatch(tr, queries, Options{Workers: workers})
+		if got, want := res.Workers, workers; got != want {
+			t.Fatalf("workers=%d: used %d workers", want, got)
+		}
+		for i := range wantCounts {
+			if res.Counts[i] != wantCounts[i] {
+				t.Fatalf("workers=%d: query %d count %d, sequential %d", workers, i, res.Counts[i], wantCounts[i])
+			}
+		}
+		if res.IO != wantIO {
+			t.Fatalf("workers=%d: IO %+v, sequential %+v", workers, res.IO, wantIO)
+		}
+		var sum storage.Snapshot
+		for _, s := range res.PerWorker {
+			sum = sum.Add(s)
+		}
+		if sum != res.IO {
+			t.Fatalf("workers=%d: per-worker snapshots sum to %+v, total %+v", workers, sum, res.IO)
+		}
+	}
+}
+
+func TestRunBatchClipped(t *testing.T) {
+	tr, queries := buildTree(t, 3000)
+	idx, err := clipindex.New(tr, core.Params{K: 8, Tau: 0.025, Method: core.MethodStairline})
+	if err != nil {
+		t.Fatalf("clipindex: %v", err)
+	}
+	var c storage.Counter
+	want := make([]int, len(queries))
+	for i, q := range queries {
+		idx.SearchCounted(q, &c, func(rtree.ObjectID, geom.Rect) bool {
+			want[i]++
+			return true
+		})
+	}
+	res := RunBatch(idx, queries, Options{Workers: 4})
+	for i := range want {
+		if res.Counts[i] != want[i] {
+			t.Fatalf("query %d: clipped parallel count %d, sequential %d", i, res.Counts[i], want[i])
+		}
+	}
+	if res.IO != c.Snapshot() {
+		t.Fatalf("clipped IO %+v, sequential %+v", res.IO, c.Snapshot())
+	}
+}
+
+func TestRunBatchCollect(t *testing.T) {
+	tr, queries := buildTree(t, 1000)
+	res := RunBatch(tr, queries, Options{Workers: 4, Collect: true})
+	for i, q := range queries {
+		var want []rtree.Item
+		tr.SearchCounted(q, &storage.Counter{}, func(id rtree.ObjectID, r geom.Rect) bool {
+			want = append(want, rtree.Item{Object: id, Rect: r})
+			return true
+		})
+		got := append([]rtree.Item(nil), res.Items[i]...)
+		sort.Slice(got, func(a, b int) bool { return got[a].Object < got[b].Object })
+		sort.Slice(want, func(a, b int) bool { return want[a].Object < want[b].Object })
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d items, want %d", i, len(got), len(want))
+		}
+		for k := range got {
+			if got[k].Object != want[k].Object {
+				t.Fatalf("query %d item %d: object %d, want %d", i, k, got[k].Object, want[k].Object)
+			}
+		}
+		if res.Counts[i] != len(want) {
+			t.Fatalf("query %d: count %d, items %d", i, res.Counts[i], len(want))
+		}
+	}
+}
+
+func TestRunBatchMain(t *testing.T) {
+	tr, queries := buildTree(t, 1000)
+	var main storage.Counter
+	res := RunBatch(tr, queries, Options{Workers: 3, Main: &main})
+	if main.Snapshot() != res.IO {
+		t.Fatalf("main counter %+v, batch IO %+v", main.Snapshot(), res.IO)
+	}
+}
+
+func TestRunBatchEdgeCases(t *testing.T) {
+	tr, queries := buildTree(t, 100)
+	res := RunBatch(tr, nil, Options{Workers: 4})
+	if len(res.Counts) != 0 || res.IO != (storage.Snapshot{}) {
+		t.Fatalf("empty batch: %+v", res)
+	}
+	// More workers than queries clamps.
+	res = RunBatch(tr, queries[:3], Options{Workers: 64})
+	if res.Workers != 3 {
+		t.Fatalf("expected clamp to 3 workers, got %d", res.Workers)
+	}
+	if res.TotalResults() < 0 {
+		t.Fatalf("negative total")
+	}
+}

@@ -47,7 +47,7 @@ func (t *Tree) NearestNeighbors(k int, p geom.Point) []Neighbor {
 		if e.node != InvalidNode {
 			n := t.nodes[e.node]
 			if n.leaf {
-				t.counter.LeafRead(1)
+				t.ChargeRead(n.id, true, nil)
 				for i := range n.entries {
 					d := n.entries[i].Rect.MinDistSq(p)
 					if w := worst(); w >= 0 && d > w {
@@ -59,7 +59,7 @@ func (t *Tree) NearestNeighbors(k int, p geom.Point) []Neighbor {
 					})
 				}
 			} else {
-				t.counter.DirRead(1)
+				t.ChargeRead(n.id, false, nil)
 				for i := range n.entries {
 					d := n.entries[i].Rect.MinDistSq(p)
 					if w := worst(); w >= 0 && d > w {

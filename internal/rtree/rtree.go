@@ -174,6 +174,14 @@ func (c Config) withDefaults() (Config, error) {
 }
 
 // Tree is an R-tree of one of the four variants.
+//
+// Concurrency: a Tree is not safe for concurrent mutation, but once
+// construction and updates have finished any number of goroutines may run
+// Search, SearchFiltered, Count, NearestNeighbors, Walk, Node, and the join
+// algorithms concurrently. The read path touches only immutable node state,
+// the atomic I/O counter, and the (mutex-protected) optional buffer pool.
+// SetCounter and SetBufferPool must not race with readers; attach them
+// before the concurrent phase starts.
 type Tree struct {
 	cfg     Config
 	nodes   []*node
@@ -182,6 +190,7 @@ type Tree struct {
 	size    int
 	height  int // number of levels; 1 = root is a leaf
 	counter *storage.Counter
+	pool    *storage.BufferPool // optional, attached via SetBufferPool
 	curve   *hilbert.Curve
 }
 
@@ -235,6 +244,45 @@ func (t *Tree) Counter() *storage.Counter { return t.counter }
 func (t *Tree) SetCounter(c *storage.Counter) {
 	if c != nil {
 		t.counter = c
+	}
+}
+
+// SetBufferPool attaches an LRU buffer pool that every node access is routed
+// through, emulating a bounded main-memory buffer in front of the simulated
+// disk. Pass nil to detach. A pool tracks the node ids of one tree; do not
+// share one pool across trees. Attach before any concurrent reads start.
+func (t *Tree) SetBufferPool(p *storage.BufferPool) { t.pool = p }
+
+// BufferPool returns the attached buffer pool, or nil.
+func (t *Tree) BufferPool() *storage.BufferPool { return t.pool }
+
+// ResetIO zeroes the I/O counter and, when a buffer pool is attached, empties
+// the pool and zeroes its hit/miss statistics as well (a cold start). Batch
+// measurements must use this instead of Counter().Reset() so pool state
+// cannot leak from one measured run into the next.
+func (t *Tree) ResetIO() {
+	t.counter.Reset()
+	if t.pool != nil {
+		t.pool.Reset()
+	}
+}
+
+// ChargeRead records one access to the node with the given id: a leaf or
+// directory read on c (the tree's own counter when c is nil) plus a touch of
+// the attached buffer pool, if any. The search and join paths funnel every
+// node access through here so counter and pool accounting cannot diverge.
+func (t *Tree) ChargeRead(id NodeID, leaf bool, c *storage.Counter) {
+	if c == nil {
+		c = t.counter
+	}
+	if leaf {
+		c.LeafRead(1)
+	} else {
+		c.DirRead(1)
+	}
+	if t.pool != nil {
+		// PageID zero is invalid, node ids start at zero: offset by one.
+		t.pool.Touch(storage.PageID(uint64(id) + 1))
 	}
 }
 
@@ -341,6 +389,14 @@ func (t *Tree) Search(q geom.Rect, visit func(ObjectID, geom.Rect) bool) {
 	t.SearchFiltered(q, nil, visit)
 }
 
+// SearchCounted is Search with the node accesses charged to an explicit
+// counter instead of the tree's own (the tree's counter when c is nil).
+// Parallel executors give every worker goroutine a private counter so that
+// per-worker I/O can be reported exactly and merged deterministically.
+func (t *Tree) SearchCounted(q geom.Rect, c *storage.Counter, visit func(ObjectID, geom.Rect) bool) {
+	t.SearchFilteredCounted(q, nil, c, visit)
+}
+
 // SearchFiltered is Search with an optional per-node admission filter: when
 // filter is non-nil it is consulted before a child node is visited, with
 // that child's id and MBB (the rectangle stored in the parent entry);
@@ -348,16 +404,25 @@ func (t *Tree) Search(q geom.Rect, visit func(ObjectID, geom.Rect) bool) {
 // layer uses the filter to apply Algorithm 2 with each child's clip points.
 // The root is always visited.
 func (t *Tree) SearchFiltered(q geom.Rect, filter func(NodeID, geom.Rect) bool, visit func(ObjectID, geom.Rect) bool) {
+	t.SearchFilteredCounted(q, filter, nil, visit)
+}
+
+// SearchFilteredCounted is SearchFiltered with the node accesses charged to
+// an explicit counter (the tree's own when c is nil).
+func (t *Tree) SearchFilteredCounted(q geom.Rect, filter func(NodeID, geom.Rect) bool, c *storage.Counter, visit func(ObjectID, geom.Rect) bool) {
 	if t.root == InvalidNode || !q.Valid() {
 		return
 	}
-	t.searchNode(t.root, q, filter, visit)
+	if c == nil {
+		c = t.counter
+	}
+	t.searchNode(t.root, q, filter, c, visit)
 }
 
-func (t *Tree) searchNode(id NodeID, q geom.Rect, filter func(NodeID, geom.Rect) bool, visit func(ObjectID, geom.Rect) bool) bool {
+func (t *Tree) searchNode(id NodeID, q geom.Rect, filter func(NodeID, geom.Rect) bool, c *storage.Counter, visit func(ObjectID, geom.Rect) bool) bool {
 	n := t.nodes[id]
 	if n.leaf {
-		t.counter.LeafRead(1)
+		t.ChargeRead(n.id, true, c)
 		for i := range n.entries {
 			if n.entries[i].Rect.Intersects(q) {
 				if !visit(n.entries[i].Object, n.entries[i].Rect) {
@@ -367,7 +432,7 @@ func (t *Tree) searchNode(id NodeID, q geom.Rect, filter func(NodeID, geom.Rect)
 		}
 		return true
 	}
-	t.counter.DirRead(1)
+	t.ChargeRead(n.id, false, c)
 	for i := range n.entries {
 		e := &n.entries[i]
 		if !e.Rect.Intersects(q) {
@@ -376,7 +441,7 @@ func (t *Tree) searchNode(id NodeID, q geom.Rect, filter func(NodeID, geom.Rect)
 		if filter != nil && !filter(e.Child, e.Rect) {
 			continue
 		}
-		if !t.searchNode(e.Child, q, filter, visit) {
+		if !t.searchNode(e.Child, q, filter, c, visit) {
 			return false
 		}
 	}

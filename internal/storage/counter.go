@@ -35,6 +35,17 @@ type Snapshot struct {
 // Total returns all node reads (leaf + directory).
 func (s Snapshot) Total() int64 { return s.LeafReads + s.DirReads }
 
+// Add returns the element-wise sum of two snapshots, used to merge the
+// per-worker I/O of a parallel query batch into one exact total.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	return Snapshot{
+		LeafReads: s.LeafReads + o.LeafReads,
+		DirReads:  s.DirReads + o.DirReads,
+		Writes:    s.Writes + o.Writes,
+		Reclips:   s.Reclips + o.Reclips,
+	}
+}
+
 // String renders the snapshot compactly for logs and experiment output.
 func (s Snapshot) String() string {
 	return fmt.Sprintf("leaf=%d dir=%d writes=%d reclips=%d", s.LeafReads, s.DirReads, s.Writes, s.Reclips)
@@ -60,6 +71,17 @@ func (c *Counter) Snapshot() Snapshot {
 		Writes:    atomic.LoadInt64(&c.writes),
 		Reclips:   atomic.LoadInt64(&c.reclips),
 	}
+}
+
+// Add accumulates a snapshot's totals into the counter. Parallel executors
+// run each worker against a private Counter and fold the per-worker
+// snapshots back into the shared counter with Add, so the shared totals are
+// exactly what a sequential run would have produced.
+func (c *Counter) Add(s Snapshot) {
+	atomic.AddInt64(&c.leafReads, s.LeafReads)
+	atomic.AddInt64(&c.dirReads, s.DirReads)
+	atomic.AddInt64(&c.writes, s.Writes)
+	atomic.AddInt64(&c.reclips, s.Reclips)
 }
 
 // Reset zeroes all totals.

@@ -20,11 +20,29 @@ type JoinResult struct {
 	IO    IOStats
 }
 
+// JoinOptions tunes how a spatial join executes.
+type JoinOptions struct {
+	// Workers is the number of goroutines the join is fanned out over:
+	// 0 (or negative) uses GOMAXPROCS — the same convention as
+	// BatchOptions.Workers — and 1 runs sequentially. Higher counts
+	// partition the probe set (INLJ) or the admissible pairs of root
+	// children (tree-to-tree join). Pair counts and reported I/O are
+	// identical for every worker count; only the order in which the visit
+	// callback observes pairs changes.
+	Workers int
+}
+
 // IndexNestedLoopJoin joins the indexed tree with a set of probe items by
 // running one range query per probe (the paper's INLJ strategy, used when
 // only one input is indexed). The optional visit callback receives every
 // matching pair; pass nil to only count.
 func IndexNestedLoopJoin(indexed *Tree, probes []Item, visit func(JoinPair)) (JoinResult, error) {
+	return IndexNestedLoopJoinWith(indexed, probes, JoinOptions{Workers: 1}, visit)
+}
+
+// IndexNestedLoopJoinWith is IndexNestedLoopJoin with execution options;
+// JoinOptions.Workers > 1 probes partitions of the probe set concurrently.
+func IndexNestedLoopJoinWith(indexed *Tree, probes []Item, opts JoinOptions, visit func(JoinPair)) (JoinResult, error) {
 	if indexed == nil {
 		return JoinResult{}, errors.New("cbb: IndexNestedLoopJoin requires an indexed tree")
 	}
@@ -32,14 +50,11 @@ func IndexNestedLoopJoin(indexed *Tree, probes []Item, visit func(JoinPair)) (Jo
 	if visit != nil {
 		cb = func(p join.Pair) { visit(JoinPair{Left: p.Left, Right: p.Right}) }
 	}
-	res, err := join.INLJ(indexed.internalTree(), indexed.internalIndex(), probes, cb)
+	res, err := join.PINLJ(indexed.internalTree(), indexed.internalIndex(), probes, opts.Workers, cb)
 	if err != nil {
 		return JoinResult{}, err
 	}
-	return JoinResult{
-		Pairs: res.Pairs,
-		IO:    IOStats{LeafReads: res.IO.LeafReads, DirReads: res.IO.DirReads, Writes: res.IO.Writes, Reclips: res.IO.Reclips},
-	}, nil
+	return JoinResult{Pairs: res.Pairs, IO: toIOStats(res.IO)}, nil
 }
 
 // SynchronizedTreeTraversalJoin joins two indexed trees by descending both
@@ -48,6 +63,13 @@ func IndexNestedLoopJoin(indexed *Tree, probes []Item, visit func(JoinPair)) (Jo
 // subtree pair is skipped when either side's overlap with the other's MBB is
 // certified dead space.
 func SynchronizedTreeTraversalJoin(left, right *Tree, visit func(JoinPair)) (JoinResult, error) {
+	return SynchronizedTreeTraversalJoinWith(left, right, JoinOptions{Workers: 1}, visit)
+}
+
+// SynchronizedTreeTraversalJoinWith is SynchronizedTreeTraversalJoin with
+// execution options; JoinOptions.Workers > 1 traverses the admissible pairs
+// of root children concurrently.
+func SynchronizedTreeTraversalJoinWith(left, right *Tree, opts JoinOptions, visit func(JoinPair)) (JoinResult, error) {
 	if left == nil || right == nil {
 		return JoinResult{}, errors.New("cbb: SynchronizedTreeTraversalJoin requires two indexed trees")
 	}
@@ -55,12 +77,9 @@ func SynchronizedTreeTraversalJoin(left, right *Tree, visit func(JoinPair)) (Joi
 	if visit != nil {
 		cb = func(p join.Pair) { visit(JoinPair{Left: p.Left, Right: p.Right}) }
 	}
-	res, err := join.STT(left.internalTree(), right.internalTree(), left.internalIndex(), right.internalIndex(), cb)
+	res, err := join.PSTT(left.internalTree(), right.internalTree(), left.internalIndex(), right.internalIndex(), opts.Workers, cb)
 	if err != nil {
 		return JoinResult{}, err
 	}
-	return JoinResult{
-		Pairs: res.Pairs,
-		IO:    IOStats{LeafReads: res.IO.LeafReads, DirReads: res.IO.DirReads, Writes: res.IO.Writes, Reclips: res.IO.Reclips},
-	}, nil
+	return JoinResult{Pairs: res.Pairs, IO: toIOStats(res.IO)}, nil
 }
