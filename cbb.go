@@ -25,6 +25,16 @@
 // Options.Clipping to select skyline clipping or to disable clipping
 // entirely, e.g. to measure the I/O difference via Tree.IOStats.
 //
+// # Persistence
+//
+// A built tree can be serialised to a versioned, checksummed snapshot and
+// reconstructed without rebuilding: SaveTo/Load round-trip through any
+// io.Writer/io.Reader, while Create/Open bind a tree to a snapshot file.
+// Open in particular returns a read-only tree that serves queries directly
+// off the on-disk page file, faulting node pages in on demand through the
+// same buffer pool and I/O counters as the in-memory simulation. See
+// persist.go and the README's Persistence section.
+//
 // # Concurrency
 //
 // A Tree is not safe for concurrent mutation (Insert, Delete, BulkLoad,
@@ -37,6 +47,14 @@
 // race-detector regression tests. BatchSearch and the Workers join option
 // exploit it to fan work out over a goroutine pool while keeping result
 // counts and I/O accounting exactly equal to a sequential run.
+//
+// File-backed trees opened with Open keep the same reader guarantees: they
+// are read-only by construction (mutations return ErrReadOnly), and the
+// on-demand page faulting is internally synchronised, so any number of
+// goroutines may run queries concurrently against one file-backed tree with
+// exactly the sequential results and I/O accounting. Only Materialize,
+// Validate (which materializes implicitly), and Close must not overlap with
+// in-flight queries.
 package cbb
 
 import (
@@ -189,6 +207,12 @@ type Tree struct {
 	opts Options
 	tree *rtree.Tree
 	idx  *clipindex.Index // nil when clipping is disabled
+
+	// Persistence bindings (see persist.go): pager is the on-disk page store
+	// of a tree opened with Open; path is the snapshot path of a tree
+	// created with Create.
+	pager *storage.FilePager
+	path  string
 }
 
 // New creates an empty tree.

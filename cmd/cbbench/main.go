@@ -11,10 +11,18 @@
 //	cbbench -exp table1 -datasets rea02,axo03 -variants "R*-tree,RR*-tree"
 //
 // Experiments: fig01, fig08, fig09, fig10, fig11, table1, fig12, fig13,
-// fig14, join, fig15, throughput, all. The throughput experiment goes
-// beyond the paper: it sweeps the parallel query engine's worker count
+// fig14, join, fig15, throughput, coldstart, all. The throughput experiment
+// goes beyond the paper: it sweeps the parallel query engine's worker count
 // (bounded by -workers) and reports queries/sec next to the leaf-access
-// metric.
+// metric. The coldstart experiment measures file-backed query I/O of a
+// freshly opened snapshot under varying buffer-pool sizes.
+//
+// With -save DIR every built tree is saved as a snapshot into DIR, and with
+// -load DIR previously saved snapshots are reopened instead of rebuilding,
+// so the index construction cost is paid once across experiment runs:
+//
+//	cbbench -exp fig11 -save /tmp/cbbcache   # build and save
+//	cbbench -exp fig13 -load /tmp/cbbcache   # reuse the same trees
 package main
 
 import (
@@ -31,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (fig01,fig08,fig09,fig10,fig11,table1,fig12,fig13,fig14,join,fig15,throughput,all)")
+		exp      = flag.String("exp", "all", "experiment to run (fig01,fig08,fig09,fig10,fig11,table1,fig12,fig13,fig14,join,fig15,throughput,coldstart,all)")
 		scale    = flag.Int("scale", 20000, "objects per dataset")
 		queries  = flag.Int("queries", 200, "queries per selectivity profile")
 		seed     = flag.Int64("seed", 42, "random seed")
@@ -40,6 +48,8 @@ func main() {
 		varFlag  = flag.String("variants", "", "comma-separated variant subset (QR-tree,HR-tree,R*-tree,RR*-tree)")
 		tau      = flag.Float64("tau", 0.025, "clip-point volume threshold τ")
 		workers  = flag.Int("workers", 8, "maximum worker count of the parallel throughput sweep")
+		saveDir  = flag.String("save", "", "directory to save built-tree snapshots into (build cost paid once)")
+		loadDir  = flag.String("load", "", "directory to load previously saved tree snapshots from")
 		listOnly = flag.Bool("list", false, "list datasets and experiments, then exit")
 	)
 	flag.Parse()
@@ -49,7 +59,7 @@ func main() {
 		for _, s := range datasets.Specs {
 			fmt.Printf("  %-6s %dd  default %d objects  (%s)\n", s.Name, s.Dims, s.DefaultSize, s.Description)
 		}
-		fmt.Println("experiments: fig01 fig08 fig09 fig10 fig11 table1 fig12 fig13 fig14 join fig15 throughput all")
+		fmt.Println("experiments: fig01 fig08 fig09 fig10 fig11 table1 fig12 fig13 fig14 join fig15 throughput coldstart all")
 		return
 	}
 
@@ -59,6 +69,8 @@ func main() {
 		Seed:           *seed,
 		SamplesPerNode: *samples,
 		Tau:            *tau,
+		SaveDir:        *saveDir,
+		LoadDir:        *loadDir,
 	}
 	if *dsFlag != "" {
 		cfg.Datasets = splitList(*dsFlag)
@@ -75,7 +87,7 @@ func main() {
 	which := strings.ToLower(strings.TrimSpace(*exp))
 	names := []string{which}
 	if which == "all" {
-		names = []string{"fig01", "fig08", "fig09", "fig10", "fig11", "table1", "fig12", "fig13", "fig14", "join", "fig15", "throughput"}
+		names = []string{"fig01", "fig08", "fig09", "fig10", "fig11", "table1", "fig12", "fig13", "fig14", "join", "fig15", "throughput", "coldstart"}
 	}
 	for _, name := range names {
 		if err := runner.run(name); err != nil {
@@ -166,6 +178,12 @@ func (r *runner) run(name string) error {
 		tables = []*experiments.Table{res.Table()}
 	case "throughput":
 		res, err := experiments.RunThroughput(r.cfg, r.workers)
+		if err != nil {
+			return err
+		}
+		tables = []*experiments.Table{res.Table()}
+	case "coldstart":
+		res, err := experiments.RunColdStart(r.cfg)
 		if err != nil {
 			return err
 		}

@@ -1,12 +1,14 @@
 // Command cbbinspect builds a (clipped) R-tree over one of the synthetic
-// datasets and prints its structural statistics: height, node counts,
-// occupancy, dead space, clip-point counts and storage breakdown. It also
-// verifies the structural invariants of the tree and the soundness of every
-// clip point, making it a quick health check for the index implementation.
+// datasets — or, with -file, loads a previously saved snapshot — and prints
+// its structural statistics: height, node counts, occupancy, dead space,
+// clip-point counts and storage breakdown. It also verifies the structural
+// invariants of the tree and the soundness of every clip point, making it a
+// quick health check for the index implementation and for snapshot files.
 //
 // Usage:
 //
 //	cbbinspect -dataset axo03 -n 50000 -variant RR*-tree -clip CSTA
+//	cbbinspect -file index.cbb
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"cbb/internal/experiments"
 	"cbb/internal/metrics"
 	"cbb/internal/rtree"
+	"cbb/internal/snapshot"
 	"cbb/internal/storage"
 )
 
@@ -33,8 +36,16 @@ func main() {
 		k       = flag.Int("k", 0, "max clip points per node (0 = 2^(d+1))")
 		tau     = flag.Float64("tau", 0.025, "clip-point volume threshold")
 		samples = flag.Int("samples", 256, "Monte-Carlo samples per node")
+		file    = flag.String("file", "", "inspect a snapshot file instead of building an index")
 	)
 	flag.Parse()
+
+	if *file != "" {
+		if err := inspectSnapshot(*file, *samples, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	v, err := parseVariant(*variant)
 	if err != nil {
@@ -49,55 +60,102 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := tree.Validate(); err != nil {
-		fatal(fmt.Errorf("tree invariants violated: %w", err))
-	}
-	stats := tree.Stats()
 	fmt.Printf("dataset    : %s (%d objects, %dd)\n", *name, len(ds.Items), ds.Spec.Dims)
 	fmt.Printf("variant    : %s (built in %s)\n", v, buildTime.Round(1e6))
+
+	method, enabled := parseClip(*clip)
+	var idx *clipindex.Index
+	if enabled {
+		kk := *k
+		if kk == 0 {
+			kk = 1 << uint(ds.Spec.Dims+1)
+		}
+		idx, err = clipindex.New(tree, core.Params{K: kk, Tau: *tau, Method: method})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if err := inspectTree(tree, idx, *samples, *seed); err != nil {
+		fatal(err)
+	}
+}
+
+// inspectSnapshot loads a snapshot file and runs the same inspection as the
+// build path, so a shipped index file gets the full health check without a
+// rebuild.
+func inspectSnapshot(path string, samples int, seed int64) error {
+	snap, fp, err := snapshot.OpenFile(path)
+	if err != nil {
+		return err
+	}
+	defer fp.Close()
+	tree, err := snap.LoadTree(fp)
+	if err != nil {
+		return err
+	}
+	m := snap.Meta
+	fmt.Printf("snapshot   : %s (format v%d, %d B pages)\n", path, snapshot.Version, m.PageSize)
+	fmt.Printf("contents   : %d objects, %dd, M=%d m=%d\n", m.Objects, m.Dims, m.MaxEntries, m.MinEntries)
+	fmt.Printf("variant    : %s\n", m.Variant)
+	var idx *clipindex.Index
+	if params, ok := m.ClipParams(); ok {
+		idx, err = clipindex.Restore(tree, params, snap.Table)
+		if err != nil {
+			return err
+		}
+	}
+	return inspectTree(tree, idx, samples, seed)
+}
+
+// inspectTree prints structure, dead space, clipping, and storage breakdown
+// for a tree with an optional clip index, validating both along the way.
+func inspectTree(tree *rtree.Tree, idx *clipindex.Index, samples int, seed int64) error {
+	if err := tree.Validate(); err != nil {
+		return fmt.Errorf("tree invariants violated: %w", err)
+	}
+	stats := tree.Stats()
 	fmt.Printf("height     : %d\n", stats.Height)
 	fmt.Printf("nodes      : %d directory, %d leaf\n", stats.DirNodes, stats.LeafNodes)
 	fmt.Printf("occupancy  : %.1f%% leaf, %.1f%% directory\n", 100*stats.AvgLeafOcc, 100*stats.AvgDirOcc)
 
-	node := metrics.TreeNodeStats(tree, *samples, *seed)
+	node := metrics.TreeNodeStats(tree, samples, seed)
 	fmt.Printf("overlap    : %.1f%% of node volume covered by 2+ children\n", 100*node.AvgOverlap)
 	fmt.Printf("dead space : %.1f%% of node volume (%.1f%% at leaves)\n", 100*node.AvgDeadSpace, 100*node.AvgLeafDeadSpace)
 
-	method, enabled := parseClip(*clip)
-	if !enabled {
+	// The clip-table footprint below comes from clipindex.TableBytes (via
+	// AuxBytes), the same helper behind the public Stats.ClipTableBytes, so
+	// the inspector can never disagree with the library's own accounting.
+	clipBytes := 0
+	if idx == nil {
 		fmt.Println("clipping   : disabled")
-		return
+	} else {
+		if err := idx.Validate(); err != nil {
+			return fmt.Errorf("clip table invalid: %w", err)
+		}
+		cs := metrics.ClippedDeadSpace(idx, samples, seed)
+		params := idx.Params()
+		clipBytes = idx.AuxBytes()
+		fmt.Printf("clipping   : %s, k=%d, tau=%.3f\n", params.Method, params.K, params.Tau)
+		fmt.Printf("clip points: %d total, %.1f per clipped node, %d bytes\n",
+			idx.Table().ClipPointCount(), idx.Table().AvgClipPointsPerNode(), clipBytes)
+		fmt.Printf("clipped    : %.1f%% of node volume (%.1f%% of the dead space)\n",
+			100*cs.AvgClipped, 100*cs.ClippedShareOfDead)
 	}
-	kk := *k
-	if kk == 0 {
-		kk = 1 << uint(ds.Spec.Dims+1)
-	}
-	idx, err := clipindex.New(tree, core.Params{K: kk, Tau: *tau, Method: method})
-	if err != nil {
-		fatal(err)
-	}
-	if err := idx.Validate(); err != nil {
-		fatal(fmt.Errorf("clip table invalid: %w", err))
-	}
-	cs := metrics.ClippedDeadSpace(idx, *samples, *seed)
-	fmt.Printf("clipping   : %s, k=%d, tau=%.3f\n", method, kk, *tau)
-	fmt.Printf("clip points: %d total, %.1f per clipped node, %d bytes\n",
-		idx.Table().ClipPointCount(), idx.Table().AvgClipPointsPerNode(), idx.AuxBytes())
-	fmt.Printf("clipped    : %.1f%% of node volume (%.1f%% of the dead space)\n",
-		100*cs.AvgClipped, 100*cs.ClippedShareOfDead)
 
-	pager := storage.NewPager(storage.DefaultPageSize)
-	if _, _, err := tree.Save(pager); err != nil {
-		fatal(err)
+	if tree.Len() == 0 {
+		fmt.Println("storage    : empty tree, no pages")
+	} else {
+		pager := storage.NewPager(storage.DefaultPageSize)
+		if _, _, err := tree.Save(pager); err != nil {
+			return err
+		}
+		u := pager.Usage()
+		fmt.Printf("storage    : %d dir B, %d leaf B, %d clip B (%.2f%% overhead)\n",
+			u.Bytes[storage.KindDirectory], u.Bytes[storage.KindLeaf], clipBytes,
+			100*float64(clipBytes)/float64(u.TotalBytes+clipBytes))
 	}
-	if _, err := idx.SaveAux(pager); err != nil {
-		fatal(err)
-	}
-	u := pager.Usage()
-	fmt.Printf("storage    : %d dir B, %d leaf B, %d clip B (%.2f%% overhead)\n",
-		u.Bytes[storage.KindDirectory], u.Bytes[storage.KindLeaf], u.Bytes[storage.KindAux],
-		100*float64(u.Bytes[storage.KindAux])/float64(u.TotalBytes))
 	fmt.Println("status     : all invariants hold")
+	return nil
 }
 
 func parseVariant(s string) (rtree.Variant, error) {

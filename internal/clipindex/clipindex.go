@@ -125,6 +125,25 @@ func New(tree *rtree.Tree, params core.Params) (*Index, error) {
 	return idx, nil
 }
 
+// Restore wraps a tree with a previously computed clip table without
+// recomputing anything — the decode path of the persistence subsystem. The
+// table is adopted as-is (it must belong to this tree, which snapshot
+// integrity checks guarantee); a nil table means no node has clip points.
+// Unlike New, Restore never walks the tree, so a lazily opened file-backed
+// tree stays unmaterialised.
+func Restore(tree *rtree.Tree, params core.Params, table Table) (*Index, error) {
+	if tree == nil {
+		return nil, errors.New("clipindex: tree must not be nil")
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if table == nil {
+		table = make(Table)
+	}
+	return &Index{tree: tree, params: params, table: table}, nil
+}
+
 // Tree returns the underlying R-tree.
 func (x *Index) Tree() *rtree.Tree { return x.tree }
 
@@ -425,10 +444,10 @@ func (x *Index) Validate() error {
 	return nil
 }
 
-// SaveAux serialises the clip table onto a pager as auxiliary pages
+// SaveAux serialises the clip table onto a page store as auxiliary pages
 // (Figure 4b) and returns the number of pages written. Used by the
 // storage-overhead experiment.
-func (x *Index) SaveAux(p *storage.Pager) (pages int, err error) {
+func (x *Index) SaveAux(p storage.PageStore) (pages int, err error) {
 	buf := EncodeTable(x.table, x.tree.Dims())
 	pageSize := p.PageSize()
 	for off := 0; off < len(buf); off += pageSize {
@@ -448,7 +467,9 @@ func (x *Index) SaveAux(p *storage.Pager) (pages int, err error) {
 	return pages, nil
 }
 
-// AuxBytes returns the exact serialised size of the clip table in bytes.
+// AuxBytes returns the exact serialised size of the clip table in bytes —
+// the same number Stats.ClipTableBytes and the cbbinspect storage breakdown
+// report, all through TableBytes.
 func (x *Index) AuxBytes() int {
-	return len(EncodeTable(x.table, x.tree.Dims()))
+	return TableBytes(x.table, x.tree.Dims())
 }

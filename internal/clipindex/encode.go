@@ -25,6 +25,19 @@ import (
 // 4-byte mask is the aligned practical encoding.)
 func ClipPointBytes(dims int) int { return 4 + dims*8 }
 
+// TableBytes returns the exact serialised size of a clip table without
+// encoding it: the 8-byte table header plus, per node, an 8-byte entry
+// header and its clip points. It is the single source of truth for the
+// clip-table storage footprint, shared by Index.AuxBytes, the encoder's
+// buffer sizing, and the storage-breakdown reports.
+func TableBytes(t Table, dims int) int {
+	n := 8
+	for _, clips := range t {
+		n += 8 + len(clips)*ClipPointBytes(dims)
+	}
+	return n
+}
+
 // EncodeTable serialises a clip table. Entries are written in ascending
 // node-id order so the encoding is deterministic.
 func EncodeTable(t Table, dims int) []byte {
@@ -33,7 +46,7 @@ func EncodeTable(t Table, dims int) []byte {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	buf := make([]byte, 0, 8+len(ids)*(8+ClipPointBytes(dims)))
+	buf := make([]byte, 0, TableBytes(t, dims))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(dims))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
 	for _, id := range ids {

@@ -54,7 +54,7 @@ func RunTauSweep(cfg Config, taus []float64) (*TauSweepResult, error) {
 			return nil, err
 		}
 		qs := queries[querygen.QR1]
-		tree, _, err := BuildTree(ds, rtree.RRStar)
+		tree, _, err := cfg.BuildTree(ds, rtree.RRStar)
 		if err != nil {
 			return nil, err
 		}
@@ -123,7 +123,7 @@ func RunScoreApprox(cfg Config) (*ScoreApproxResult, error) {
 			return nil, err
 		}
 		for _, v := range cfg.Variants {
-			tree, _, err := BuildTree(ds, v)
+			tree, _, err := cfg.BuildTree(ds, v)
 			if err != nil {
 				return nil, err
 			}
@@ -202,7 +202,7 @@ func RunOrderingAblation(cfg Config) (*OrderingResult, error) {
 			return nil, err
 		}
 		qs := queries[querygen.QR1]
-		tree, _, err := BuildTree(ds, rtree.RRStar)
+		tree, _, err := cfg.BuildTree(ds, rtree.RRStar)
 		if err != nil {
 			return nil, err
 		}

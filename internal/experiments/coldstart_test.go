@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"testing"
+
+	"cbb/internal/rtree"
+)
+
+func TestRunColdStart(t *testing.T) {
+	cfg := Config{Scale: 1500, Queries: 25, Seed: 42, Datasets: []string{"rea02"}}
+	res, err := RunColdStart(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(coldStartFractions) * 2
+	if len(res.Rows) != want {
+		t.Fatalf("%d rows, want %d", len(res.Rows), want)
+	}
+	for i := 0; i+1 < len(res.Rows); i += 2 {
+		plain, clipped := res.Rows[i], res.Rows[i+1]
+		if plain.Clipped || !clipped.Clipped {
+			t.Fatalf("row order wrong at %d", i)
+		}
+		if plain.PoolPages != clipped.PoolPages {
+			t.Fatalf("pool capacities differ at %d", i)
+		}
+		// Clipping never changes results, only skips I/O.
+		if plain.Results != clipped.Results {
+			t.Fatalf("pool %d: plain %d results, clipped %d", plain.PoolPages, plain.Results, clipped.Results)
+		}
+		if clipped.LeafReads > plain.LeafReads {
+			t.Errorf("pool %d: clipped leaf reads %d exceed plain %d", plain.PoolPages, clipped.LeafReads, plain.LeafReads)
+		}
+		if plain.LeafReads == 0 || plain.DiskReads == 0 {
+			t.Errorf("pool %d: cold-start run charged no I/O", plain.PoolPages)
+		}
+	}
+	// Growing the pool can only reduce misses for the same workload.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-2]
+	if last.Misses > first.Misses {
+		t.Errorf("misses grew with pool size: %d (pool %d) -> %d (pool %d)",
+			first.Misses, first.PoolPages, last.Misses, last.PoolPages)
+	}
+	if res.Table().String() == "" {
+		t.Error("empty table rendering")
+	}
+}
+
+func TestBuildTreeSnapshotCache(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Scale: 1200, Seed: 42, SaveDir: dir}.WithDefaults()
+	ds, err := cfg.LoadDataset("rea02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, _, err := cfg.BuildTree(ds, rtree.RRStar)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.SaveDir, cfg.LoadDir = "", dir
+	reloaded, _, err := cfg.BuildTree(ds, rtree.RRStar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Len() != built.Len() || reloaded.Height() != built.Height() {
+		t.Fatalf("cache round trip changed the tree: %d/%d vs %d/%d",
+			reloaded.Len(), reloaded.Height(), built.Len(), built.Height())
+	}
+	if err := reloaded.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The reloaded tree is fully in memory and mutable.
+	if _, err := reloaded.Insert(ds.Items[0].Rect, 999999); err != nil {
+		t.Fatalf("cached tree must stay mutable: %v", err)
+	}
+
+	// A different variant misses the cache and rebuilds.
+	other, _, err := cfg.BuildTree(ds, rtree.Quadratic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Variant() != rtree.Quadratic {
+		t.Fatal("variant mismatch must bypass the cache")
+	}
+}

@@ -8,6 +8,8 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"cbb/internal/clipindex"
@@ -16,6 +18,7 @@ import (
 	"cbb/internal/geom"
 	"cbb/internal/querygen"
 	"cbb/internal/rtree"
+	"cbb/internal/snapshot"
 )
 
 // Config controls the scale and determinism of all experiments.
@@ -36,6 +39,15 @@ type Config struct {
 	Variants []rtree.Variant
 	// Tau is the clip-point volume threshold (0 = the paper's 2.5 %).
 	Tau float64
+	// LoadDir, when set, makes Config.BuildTree reopen a previously saved
+	// tree snapshot from this directory instead of rebuilding (cbbench
+	// -load). Snapshots that are missing or do not match the requested
+	// dataset/variant/configuration are rebuilt.
+	LoadDir string
+	// SaveDir, when set, makes Config.BuildTree save every freshly built
+	// tree as a snapshot into this directory (cbbench -save), so later runs
+	// with LoadDir pay the build cost only once.
+	SaveDir string
 }
 
 // WithDefaults fills unset fields with harness defaults and returns a copy.
@@ -142,6 +154,94 @@ func BuildTree(ds *Dataset, v rtree.Variant) (*rtree.Tree, time.Duration, error)
 		}
 	}
 	return tree, time.Since(start), nil
+}
+
+// BuildTree is the snapshot-caching variant of the package-level BuildTree,
+// used by every experiment: with LoadDir set it reopens a previously saved
+// snapshot instead of rebuilding (reporting the load time as the build
+// time), and with SaveDir set it saves freshly built trees, so the index
+// construction cost is paid once across experiment runs.
+func (c Config) BuildTree(ds *Dataset, v rtree.Variant) (*rtree.Tree, time.Duration, error) {
+	if c.LoadDir != "" {
+		if tree, dur, ok := loadCachedTree(c.snapshotPath(c.LoadDir, ds, v), ds, v); ok {
+			return tree, dur, nil
+		}
+	}
+	tree, dur, err := BuildTree(ds, v)
+	if err != nil {
+		return nil, 0, err
+	}
+	if c.SaveDir != "" {
+		if err := saveCachedTree(c.snapshotPath(c.SaveDir, ds, v), tree); err != nil {
+			return nil, 0, fmt.Errorf("experiments: saving tree snapshot: %w", err)
+		}
+	}
+	return tree, dur, nil
+}
+
+// snapshotPath names a cached tree snapshot so that any configuration
+// difference that changes the built tree changes the file name.
+func (c Config) snapshotPath(dir string, ds *Dataset, v rtree.Variant) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-n%d-seed%d-%s.cbb",
+		ds.Spec.Name, len(ds.Items), c.Seed, variantSlug(v)))
+}
+
+func variantSlug(v rtree.Variant) string {
+	switch v {
+	case rtree.Quadratic:
+		return "qr"
+	case rtree.Hilbert:
+		return "hr"
+	case rtree.RStar:
+		return "rstar"
+	case rtree.RRStar:
+		return "rrstar"
+	default:
+		return fmt.Sprintf("v%d", int(v))
+	}
+}
+
+// loadCachedTree reopens a snapshot and fully materialises the tree,
+// verifying that it matches the requested dataset and configuration; ok is
+// false (and the caller rebuilds) when the file is missing, corrupt, or a
+// configuration mismatch.
+func loadCachedTree(path string, ds *Dataset, v rtree.Variant) (*rtree.Tree, time.Duration, bool) {
+	start := time.Now()
+	snap, fp, err := snapshot.OpenFile(path)
+	if err != nil {
+		return nil, 0, false
+	}
+	defer fp.Close()
+	want := treeConfig(ds.Spec.Dims, v, ds.Universe)
+	m := snap.Meta
+	if m.Dims != want.Dims || m.Variant != v || m.MaxEntries != want.MaxEntries ||
+		m.MinEntries != want.MinEntries || m.Objects != len(ds.Items) {
+		return nil, 0, false
+	}
+	tree, err := snap.LoadTree(fp)
+	if err != nil {
+		return nil, 0, false
+	}
+	return tree, time.Since(start), true
+}
+
+// saveCachedTree writes a plain (unclipped) tree snapshot; experiments clip
+// the reloaded tree themselves, per method.
+func saveCachedTree(path string, tree *rtree.Tree) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	cfg := tree.Config()
+	meta := snapshot.Meta{
+		Dims:        cfg.Dims,
+		Variant:     cfg.Variant,
+		MaxEntries:  cfg.MaxEntries,
+		MinEntries:  cfg.MinEntries,
+		HilbertBits: cfg.HilbertBits,
+		Universe:    cfg.Universe,
+		ClipMethod:  snapshot.ClipNone,
+	}
+	return snapshot.WriteFile(path, tree, nil, meta)
 }
 
 // BuildTreePartial builds a tree over the first fraction of the dataset

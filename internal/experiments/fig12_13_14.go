@@ -113,7 +113,7 @@ func RunFig13(cfg Config) (*Fig13Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		tree, _, err := BuildTree(ds, rtree.RRStar)
+		tree, _, err := cfg.BuildTree(ds, rtree.RRStar)
 		if err != nil {
 			return nil, err
 		}
@@ -186,6 +186,10 @@ func RunFig14(cfg Config) (*Fig14Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		// This experiment measures construction cost, so it must always
+		// build from scratch: the snapshot cache (cbbench -load) would
+		// silently replace build times with near-constant load times and
+		// collapse the relative columns.
 		rrTree, rrTime, err := BuildTree(ds, rtree.RRStar)
 		if err != nil {
 			return nil, err

@@ -66,7 +66,7 @@ func RunThroughput(cfg Config, maxWorkers int) (*ThroughputResult, error) {
 		batch = append(batch, queries[p]...)
 	}
 
-	tree, _, err := BuildTree(ds, rtree.RRStar)
+	tree, _, err := cfg.BuildTree(ds, rtree.RRStar)
 	if err != nil {
 		return nil, err
 	}

@@ -21,6 +21,9 @@ type Item struct {
 // the other variants when bulk loading is explicitly requested. The tree
 // must be empty.
 func (t *Tree) BulkLoad(items []Item) error {
+	if t.src != nil {
+		return ErrReadOnly
+	}
 	if t.size != 0 || t.root != InvalidNode {
 		return fmt.Errorf("rtree: BulkLoad requires an empty tree")
 	}

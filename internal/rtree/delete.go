@@ -41,6 +41,9 @@ func (tr *DeleteTrace) markMBBChanged(id NodeID) {
 // an indexed entry exactly (the usual R-tree contract). It returns a trace
 // and whether the object was found.
 func (t *Tree) Delete(r geom.Rect, obj ObjectID) (*DeleteTrace, error) {
+	if t.src != nil {
+		return nil, ErrReadOnly
+	}
 	if !r.Valid() || r.Dims() != t.cfg.Dims {
 		return nil, fmt.Errorf("rtree: invalid rectangle %v for a %d-dimensional tree", r, t.cfg.Dims)
 	}

@@ -36,6 +36,15 @@ func MaxEntriesForPage(pageSize, dims int) int {
 	return usable / EntryBytes(dims)
 }
 
+// PageBytesFor returns the encoded size of a full node page (the inverse of
+// MaxEntriesForPage): the smallest page that holds a node with maxEntries
+// entries in the given dimensionality. The snapshot writer uses it to pick a
+// page size for trees whose configured capacity exceeds what a 4 KiB page
+// holds.
+func PageBytesFor(maxEntries, dims int) int {
+	return nodeHeaderBytes + maxEntries*EntryBytes(dims)
+}
+
 // encodeNode serialises a node into the Figure 4a layout.
 func encodeNode(n *node, dims int) []byte {
 	buf := make([]byte, 0, nodeHeaderBytes+len(n.entries)*EntryBytes(dims))
@@ -104,11 +113,12 @@ func decodeNode(buf []byte, dims int) (*node, error) {
 	return n, nil
 }
 
-// Save writes every node of the tree onto the pager, one page per node, and
-// returns the page id of the root together with a map from node id to page
-// id. It is used by the storage-overhead experiment and by persistence
-// round-trip tests.
-func (t *Tree) Save(p *storage.Pager) (root storage.PageID, pages map[NodeID]storage.PageID, err error) {
+// Save writes every node of the tree onto the page store, one page per node,
+// and returns the page id of the root together with a map from node id to
+// page id. It is used by the storage-overhead experiment, the snapshot
+// subsystem, and persistence round-trip tests. Saving a file-backed tree
+// faults every node in first.
+func (t *Tree) Save(p storage.PageStore) (root storage.PageID, pages map[NodeID]storage.PageID, err error) {
 	if t.root == InvalidNode {
 		return storage.InvalidPage, nil, errors.New("rtree: cannot save an empty tree")
 	}
@@ -128,19 +138,22 @@ func (t *Tree) Save(p *storage.Pager) (root storage.PageID, pages map[NodeID]sto
 			return
 		}
 		pages[info.ID] = id
-		if err := p.Write(id, encodeNode(t.nodes[info.ID], t.cfg.Dims)); err != nil {
+		if err := p.Write(id, encodeNode(t.node(info.ID), t.cfg.Dims)); err != nil {
 			firstErr = fmt.Errorf("rtree: saving node %d: %w", info.ID, err)
 		}
 	})
 	if firstErr != nil {
 		return storage.InvalidPage, nil, firstErr
 	}
+	if err := t.Err(); err != nil {
+		return storage.InvalidPage, nil, err
+	}
 	return pages[t.root], pages, nil
 }
 
 // Load reconstructs a tree previously written with Save. The configuration
 // must match the one used when building the original tree.
-func Load(cfg Config, p *storage.Pager, root storage.PageID, pages map[NodeID]storage.PageID) (*Tree, error) {
+func Load(cfg Config, p storage.PageStore, root storage.PageID, pages map[NodeID]storage.PageID) (*Tree, error) {
 	t, err := New(cfg)
 	if err != nil {
 		return nil, err
@@ -154,11 +167,9 @@ func Load(cfg Config, p *storage.Pager, root storage.PageID, pages map[NodeID]st
 	if !ok {
 		return nil, errors.New("rtree: root page not present in page map")
 	}
-	maxID := NodeID(-1)
-	for nid := range pages {
-		if nid > maxID {
-			maxID = nid
-		}
+	maxID, err := maxNodeID(pages)
+	if err != nil {
+		return nil, err
 	}
 	t.nodes = make([]*node, maxID+1)
 	objects := 0
@@ -210,4 +221,104 @@ func Load(cfg Config, p *storage.Pager, root storage.PageID, pages map[NodeID]st
 		}
 	}
 	return t, nil
+}
+
+// maxNodeID returns the largest node id in the page map, rejecting maps so
+// sparse that sizing the arena by the maximum id would be an allocation
+// hazard (a defence against corrupt or adversarial snapshots).
+func maxNodeID(pages map[NodeID]storage.PageID) (NodeID, error) {
+	maxID := NodeID(-1)
+	for nid := range pages {
+		if nid < 0 {
+			return 0, fmt.Errorf("rtree: negative node id %d in page map", nid)
+		}
+		if nid > maxID {
+			maxID = nid
+		}
+	}
+	// Deletions can legitimately leave the arena sparse (freed ids are only
+	// reused by later inserts), so the relative bound gets a generous
+	// absolute floor: a 2^20-entry arena of nil pointers costs 8 MiB, cheap
+	// enough to always allow, while still rejecting snapshots whose ids
+	// would force a multi-gigabyte allocation.
+	limit := 32*len(pages) + 1024
+	if limit < 1<<20 {
+		limit = 1 << 20
+	}
+	if int(maxID) >= limit {
+		return 0, fmt.Errorf("rtree: implausibly sparse node ids (max %d for %d nodes)", maxID, len(pages))
+	}
+	return maxID, nil
+}
+
+// OpenPaged constructs a read-only, file-backed tree over pages previously
+// written with Save: nodes are decoded from the page store on first access
+// (through the tree's buffer pool and I/O counters, if attached) instead of
+// being materialised up front, so a snapshot of any size opens in constant
+// time. size and height come from the snapshot header because they cannot be
+// known without reading every page. Mutations return ErrReadOnly; concurrent
+// readers are safe, exactly as for an in-memory tree.
+func OpenPaged(cfg Config, store storage.PageStore, pages map[NodeID]storage.PageID, root NodeID, size, height int) (*Tree, error) {
+	t, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if store == nil {
+		return nil, errors.New("rtree: OpenPaged requires a page store")
+	}
+	t.src = &pageSource{store: store, pages: pages}
+	if root == InvalidNode {
+		if len(pages) != 0 || size != 0 || height != 0 {
+			return nil, errors.New("rtree: snapshot has pages but no root")
+		}
+		return t, nil
+	}
+	if _, ok := pages[root]; !ok {
+		return nil, fmt.Errorf("rtree: root node %d has no page in the snapshot", root)
+	}
+	if size < 0 || height < 1 {
+		return nil, fmt.Errorf("rtree: implausible snapshot size %d / height %d", size, height)
+	}
+	maxID, err := maxNodeID(pages)
+	if err != nil {
+		return nil, err
+	}
+	t.nodes = make([]*node, maxID+1)
+	t.root = root
+	t.size = size
+	t.height = height
+	return t, nil
+}
+
+// Materialize faults every node of a file-backed tree into memory and fixes
+// up parent pointers (which are not stored in the page layout). It is a
+// no-op for in-memory trees. Validate calls it implicitly; callers can also
+// use it to warm a freshly opened tree. It must not run concurrently with
+// queries, because it rewrites parent pointers the moment they are known.
+func (t *Tree) Materialize() error {
+	if t.src == nil {
+		return nil
+	}
+	for id := range t.src.pages {
+		if t.node(id) == nil {
+			break
+		}
+	}
+	if err := t.Err(); err != nil {
+		return err
+	}
+	t.arenaMu.Lock()
+	defer t.arenaMu.Unlock()
+	for _, n := range t.nodes {
+		if n == nil || n.leaf {
+			continue
+		}
+		for i := range n.entries {
+			c := n.entries[i].Child
+			if c >= 0 && int(c) < len(t.nodes) && t.nodes[c] != nil {
+				t.nodes[c].parent = n.id
+			}
+		}
+	}
+	return nil
 }

@@ -101,6 +101,9 @@ func (tr *InsertTrace) Changed(id NodeID) bool {
 // trace of the structural changes. The rectangle's dimensionality must match
 // the tree's.
 func (t *Tree) Insert(r geom.Rect, obj ObjectID) (*InsertTrace, error) {
+	if t.src != nil {
+		return nil, ErrReadOnly
+	}
 	if !r.Valid() || r.Dims() != t.cfg.Dims {
 		return nil, fmt.Errorf("rtree: invalid rectangle %v for a %d-dimensional tree", r, t.cfg.Dims)
 	}

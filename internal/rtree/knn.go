@@ -28,9 +28,13 @@ func (t *Tree) NearestNeighbors(k int, p geom.Point) []Neighbor {
 	if k <= 0 || t.root == InvalidNode || len(p) != t.cfg.Dims {
 		return nil
 	}
+	root := t.node(t.root)
+	if root == nil {
+		return nil
+	}
 	pq := &knnQueue{}
 	heap.Init(pq)
-	heap.Push(pq, knnEntry{node: t.root, distSq: t.nodes[t.root].mbb().MinDistSq(p)})
+	heap.Push(pq, knnEntry{node: t.root, distSq: root.mbb().MinDistSq(p)})
 
 	var results []Neighbor
 	worst := func() float64 {
@@ -45,7 +49,10 @@ func (t *Tree) NearestNeighbors(k int, p geom.Point) []Neighbor {
 			break // nothing in the queue can improve the result set
 		}
 		if e.node != InvalidNode {
-			n := t.nodes[e.node]
+			n := t.node(e.node)
+			if n == nil {
+				continue
+			}
 			if n.leaf {
 				t.ChargeRead(n.id, true, nil)
 				for i := range n.entries {

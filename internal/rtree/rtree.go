@@ -16,11 +16,17 @@ package rtree
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"cbb/internal/geom"
 	"cbb/internal/hilbert"
 	"cbb/internal/storage"
 )
+
+// ErrReadOnly is returned by mutating operations on a file-backed tree
+// opened with OpenPaged: such a tree serves queries directly off its page
+// store and cannot be modified in place.
+var ErrReadOnly = errors.New("rtree: tree is file-backed and read-only")
 
 // Variant selects the node-organisation strategy.
 type Variant int
@@ -192,6 +198,19 @@ type Tree struct {
 	counter *storage.Counter
 	pool    *storage.BufferPool // optional, attached via SetBufferPool
 	curve   *hilbert.Curve
+
+	// File-backed (read-only) mode, set up by OpenPaged: nodes are faulted
+	// into the arena on first access from src, under arenaMu. src is nil for
+	// ordinary in-memory trees, whose arena is accessed without locking.
+	src      *pageSource
+	arenaMu  sync.RWMutex
+	faultErr error // first page fault failure, sticky; guarded by arenaMu
+}
+
+// pageSource locates the pages of a file-backed tree in its page store.
+type pageSource struct {
+	store storage.PageStore
+	pages map[NodeID]storage.PageID
 }
 
 // New creates an empty tree. The tree uses its own private I/O counter; use
@@ -289,12 +308,33 @@ func (t *Tree) ChargeRead(id NodeID, leaf bool, c *storage.Counter) {
 // RootID returns the id of the root node, or InvalidNode for an empty tree.
 func (t *Tree) RootID() NodeID { return t.root }
 
+// ReadOnly reports whether the tree is file-backed (opened with OpenPaged)
+// and therefore rejects mutations with ErrReadOnly.
+func (t *Tree) ReadOnly() bool { return t.src != nil }
+
+// Err returns the first page-fault failure of a file-backed tree (a page
+// that could not be read or decoded on demand), or nil. Queries treat a
+// faulted node as empty rather than panicking; callers that need certainty
+// should check Err after a batch, or call Materialize up front.
+func (t *Tree) Err() error {
+	if t.src == nil {
+		return nil
+	}
+	t.arenaMu.RLock()
+	defer t.arenaMu.RUnlock()
+	return t.faultErr
+}
+
 // Bounds returns the MBB of all indexed objects (zero Rect when empty).
 func (t *Tree) Bounds() geom.Rect {
 	if t.root == InvalidNode {
 		return geom.Rect{}
 	}
-	return t.nodes[t.root].mbb()
+	n := t.node(t.root)
+	if n == nil {
+		return geom.Rect{}
+	}
+	return n.mbb()
 }
 
 // --- node arena management -------------------------------------------------
@@ -319,8 +359,74 @@ func (t *Tree) freeNode(id NodeID) {
 	t.free = append(t.free, id)
 }
 
+// node returns the node with the given id. For an ordinary in-memory tree
+// this is a plain arena lookup; for a file-backed tree the node is faulted
+// in from the page store on first access, under arenaMu, so any number of
+// concurrent readers can share one lazily loaded tree. It returns nil when
+// the id is out of range, freed, or its page cannot be read (the failure is
+// recorded and exposed via Err).
 func (t *Tree) node(id NodeID) *node {
-	return t.nodes[id]
+	if t.src == nil {
+		return t.nodes[id]
+	}
+	if id < 0 || int(id) >= len(t.nodes) {
+		t.setFaultErr(fmt.Errorf("rtree: node id %d out of range", id))
+		return nil
+	}
+	t.arenaMu.RLock()
+	n := t.nodes[id]
+	t.arenaMu.RUnlock()
+	if n != nil {
+		return n
+	}
+	return t.fault(id)
+}
+
+// fault loads one node page from the page store into the arena. The disk
+// read and decode run outside the lock so concurrent cold readers fault
+// different pages in parallel; only the install re-checks under the write
+// lock (two goroutines racing on the same node decode it twice, harmlessly
+// — the loser's copy is discarded).
+func (t *Tree) fault(id NodeID) *node {
+	pid, ok := t.src.pages[id]
+	if !ok {
+		t.setFaultErr(fmt.Errorf("rtree: node %d has no page in the snapshot", id))
+		return nil
+	}
+	buf, _, err := t.src.store.Read(pid)
+	if err != nil {
+		t.setFaultErr(fmt.Errorf("rtree: reading page %d for node %d: %w", pid, id, err))
+		return nil
+	}
+	n, err := decodeNode(buf, t.cfg.Dims)
+	if err != nil {
+		t.setFaultErr(fmt.Errorf("rtree: decoding page %d for node %d: %w", pid, id, err))
+		return nil
+	}
+	if n.id != id {
+		t.setFaultErr(fmt.Errorf("rtree: page %d claims node id %d, expected %d", pid, n.id, id))
+		return nil
+	}
+	t.arenaMu.Lock()
+	defer t.arenaMu.Unlock()
+	if cached := t.nodes[id]; cached != nil {
+		return cached
+	}
+	t.nodes[id] = n
+	return n
+}
+
+func (t *Tree) setFaultErr(err error) {
+	t.arenaMu.Lock()
+	t.faultErrLocked(err)
+	t.arenaMu.Unlock()
+}
+
+// faultErrLocked records the first fault failure; arenaMu must be held.
+func (t *Tree) faultErrLocked(err error) {
+	if t.faultErr == nil {
+		t.faultErr = err
+	}
 }
 
 // NodeInfo is a read-only description of one node, exposed for the clip
@@ -335,12 +441,18 @@ type NodeInfo struct {
 }
 
 // Node returns a snapshot of the node with the given id. The returned
-// Children slice aliases internal storage and must not be modified.
+// Children slice aliases internal storage and must not be modified. On a
+// file-backed tree the node is faulted in on demand, and Parent is
+// InvalidNode until Materialize has run (parents are not stored in the
+// Figure 4a page layout).
 func (t *Tree) Node(id NodeID) (NodeInfo, error) {
-	if id < 0 || int(id) >= len(t.nodes) || t.nodes[id] == nil {
+	if id < 0 || int(id) >= len(t.nodes) {
 		return NodeInfo{}, fmt.Errorf("rtree: node %d does not exist", id)
 	}
-	n := t.nodes[id]
+	n := t.node(id)
+	if n == nil {
+		return NodeInfo{}, fmt.Errorf("rtree: node %d does not exist", id)
+	}
 	return NodeInfo{
 		ID: n.id, Parent: n.parent, Leaf: n.leaf, Level: n.level,
 		MBB: n.mbb(), Children: n.entries,
@@ -358,7 +470,10 @@ func (t *Tree) Walk(fn func(NodeInfo)) {
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		n := t.nodes[id]
+		n := t.node(id)
+		if n == nil {
+			continue
+		}
 		fn(NodeInfo{ID: n.id, Parent: n.parent, Leaf: n.leaf, Level: n.level, MBB: n.mbb(), Children: n.entries})
 		if !n.leaf {
 			for i := range n.entries {
@@ -420,7 +535,10 @@ func (t *Tree) SearchFilteredCounted(q geom.Rect, filter func(NodeID, geom.Rect)
 }
 
 func (t *Tree) searchNode(id NodeID, q geom.Rect, filter func(NodeID, geom.Rect) bool, c *storage.Counter, visit func(ObjectID, geom.Rect) bool) bool {
-	n := t.nodes[id]
+	n := t.node(id)
+	if n == nil {
+		return true // unreadable page on a file-backed tree; recorded in Err
+	}
 	if n.leaf {
 		t.ChargeRead(n.id, true, c)
 		for i := range n.entries {

@@ -25,6 +25,11 @@ func (t *Tree) Validate() error {
 		}
 		return nil
 	}
+	// A file-backed tree must be fully loaded first: validation needs parent
+	// pointers, which the page layout does not store.
+	if err := t.Materialize(); err != nil {
+		return err
+	}
 	root := t.nodes[t.root]
 	if root.parent != InvalidNode {
 		return fmt.Errorf("rtree: root %d has parent %d", root.id, root.parent)

@@ -1,0 +1,671 @@
+// Package snapshot defines the versioned, checksummed single-file snapshot
+// format of the persistence subsystem. A snapshot is a page file (the byte
+// format of internal/storage's FilePager) whose first page is a superblock
+// describing the indexed structure — dimensionality, R-tree variant and
+// capacity, clipping parameters, root node — followed by the tree's node
+// pages in the Figure 4a layout, a node-id→page-id index, and the Figure 4b
+// clip table, all written with the existing encoders.
+//
+// The same snapshot can be consumed two ways: fully decoded into an
+// in-memory tree (LoadTree), or opened lazily so that queries run directly
+// against the on-disk pages through a FilePager, the buffer pool, and the
+// usual I/O counters (OpenTree). Every layer validates on decode: the page
+// container checks magic, version, and per-page CRC-32C; the superblock
+// carries its own checksum and plausibility limits; and the node decoder
+// rejects malformed pages.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"cbb/internal/clipindex"
+	"cbb/internal/core"
+	"cbb/internal/geom"
+	"cbb/internal/rtree"
+	"cbb/internal/storage"
+)
+
+// Superblock constants.
+const (
+	superMagic = "CBBSNAP1"
+	// Version is the snapshot format version written by this package.
+	Version = 1
+	// SuperPage is the page id of the superblock: always the first page of
+	// the file, so readers can find it without any other metadata.
+	SuperPage storage.PageID = 1
+
+	// maxNodes bounds the node count accepted from a snapshot, guarding
+	// decoders against allocation bombs in corrupt files.
+	maxNodes = 1 << 26
+	// maxHeight bounds the tree height (the node layout stores one byte).
+	maxHeight = 255
+
+	indexEntryBytes = 12 // node id (uint32) + page id (uint64)
+)
+
+// Common snapshot errors.
+var (
+	ErrBadMagic   = errors.New("snapshot: not a cbb snapshot (bad magic)")
+	ErrBadVersion = errors.New("snapshot: unsupported snapshot version")
+	ErrCorrupt    = errors.New("snapshot: corrupt snapshot")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ClipMethod records in the superblock how the snapshot's clip table was
+// built (or that clipping is disabled).
+type ClipMethod uint32
+
+// Clip methods, in the order the public API uses.
+const (
+	ClipStairline ClipMethod = iota // the paper's CSTA
+	ClipSkyline                     // the paper's CSKY
+	ClipNone                        // plain R-tree, no clip table
+)
+
+// CoreMethod maps the snapshot code to the clip-construction method; ok is
+// false for ClipNone.
+func (m ClipMethod) CoreMethod() (core.Method, bool) {
+	switch m {
+	case ClipStairline:
+		return core.MethodStairline, true
+	case ClipSkyline:
+		return core.MethodSkyline, true
+	default:
+		return 0, false
+	}
+}
+
+// Meta is the snapshot header: everything needed to reconstruct the index
+// configuration, plus the structural facts (object count, height, root) that
+// a lazy open cannot derive without reading every page.
+type Meta struct {
+	// PageSize is the page size of the snapshot's page file; 0 lets Write
+	// pick one (DefaultPageSize, grown if the node capacity needs more).
+	PageSize int
+
+	// Index configuration.
+	Dims        int
+	Variant     rtree.Variant
+	MaxEntries  int
+	MinEntries  int
+	HilbertBits int
+	Universe    geom.Rect
+
+	// Clipping parameters.
+	ClipMethod    ClipMethod
+	MaxClipPoints int
+	ClipTau       float64
+
+	// Structural facts, filled in by Write from the tree.
+	Objects int
+	Height  int
+	Root    rtree.NodeID
+}
+
+// Config reconstructs the R-tree configuration stored in the header.
+func (m Meta) Config() rtree.Config {
+	return rtree.Config{
+		Dims:        m.Dims,
+		MaxEntries:  m.MaxEntries,
+		MinEntries:  m.MinEntries,
+		Variant:     m.Variant,
+		Universe:    m.Universe,
+		HilbertBits: m.HilbertBits,
+	}
+}
+
+// ClipParams reconstructs the clipping parameters; ok is false when the
+// snapshot was written without clipping.
+func (m Meta) ClipParams() (core.Params, bool) {
+	method, ok := m.ClipMethod.CoreMethod()
+	if !ok {
+		return core.Params{}, false
+	}
+	return core.Params{K: m.MaxClipPoints, Tau: m.ClipTau, Method: method}, true
+}
+
+// PageSizeFor returns the page size Write uses for the given configuration:
+// the default 4 KiB page unless a node of MaxEntries entries needs more, in
+// which case the size is rounded up to the next 4 KiB multiple.
+func PageSizeFor(maxEntries, dims int) int {
+	need := rtree.PageBytesFor(maxEntries, dims)
+	if need <= storage.DefaultPageSize {
+		return storage.DefaultPageSize
+	}
+	pages := (need + storage.DefaultPageSize - 1) / storage.DefaultPageSize
+	return pages * storage.DefaultPageSize
+}
+
+// Snapshot is a decoded snapshot: its header, the location of every node
+// page, and the clip table. The node pages themselves stay in the page store
+// until LoadTree or OpenTree asks for them.
+type Snapshot struct {
+	Meta     Meta
+	RootPage storage.PageID
+	Pages    map[rtree.NodeID]storage.PageID
+	Table    clipindex.Table
+}
+
+// LoadTree fully materialises the snapshot's tree from the page store into
+// memory (the Load half of the Save/Load pair).
+func (s *Snapshot) LoadTree(store storage.PageStore) (*rtree.Tree, error) {
+	if s.Meta.Root == rtree.InvalidNode {
+		return rtree.New(s.Meta.Config())
+	}
+	t, err := rtree.Load(s.Meta.Config(), store, s.RootPage, s.Pages)
+	if err != nil {
+		return nil, err
+	}
+	if t.Len() != s.Meta.Objects {
+		return nil, fmt.Errorf("%w: header claims %d objects, pages hold %d", ErrCorrupt, s.Meta.Objects, t.Len())
+	}
+	if t.Height() != s.Meta.Height {
+		return nil, fmt.Errorf("%w: header claims height %d, pages give %d", ErrCorrupt, s.Meta.Height, t.Height())
+	}
+	return t, nil
+}
+
+// OpenTree returns a read-only tree that faults node pages in from the store
+// on demand, so queries run directly against the backing file.
+func (s *Snapshot) OpenTree(store storage.PageStore) (*rtree.Tree, error) {
+	return rtree.OpenPaged(s.Meta.Config(), store, s.Pages, s.Meta.Root, s.Meta.Objects, s.Meta.Height)
+}
+
+// Write serialises the tree and its clip table into a freshly created page
+// store: superblock first, then the node pages (Figure 4a), the node index,
+// and the clip table (Figure 4b). meta's configuration fields must describe
+// the tree; its structural fields are filled in here.
+func Write(store storage.PageStore, tree *rtree.Tree, table clipindex.Table, meta Meta) error {
+	if tree == nil {
+		return errors.New("snapshot: tree must not be nil")
+	}
+	// The header must describe this tree exactly: any divergence would
+	// checksum fine yet reopen as a differently configured index.
+	cfg := tree.Config()
+	if meta.Dims != cfg.Dims || meta.Variant != cfg.Variant ||
+		meta.MaxEntries != cfg.MaxEntries || meta.MinEntries != cfg.MinEntries ||
+		meta.HilbertBits != cfg.HilbertBits || !meta.Universe.Equal(cfg.Universe) {
+		return fmt.Errorf("snapshot: header (%dd %v M=%d m=%d bits=%d) does not describe the tree (%dd %v M=%d m=%d bits=%d)",
+			meta.Dims, meta.Variant, meta.MaxEntries, meta.MinEntries, meta.HilbertBits,
+			cfg.Dims, cfg.Variant, cfg.MaxEntries, cfg.MinEntries, cfg.HilbertBits)
+	}
+	if meta.PageSize == 0 {
+		meta.PageSize = PageSizeFor(meta.MaxEntries, meta.Dims)
+	}
+	if store.PageSize() != meta.PageSize {
+		return fmt.Errorf("snapshot: page store has page size %d, header says %d", store.PageSize(), meta.PageSize)
+	}
+	if meta.ClipMethod == ClipNone && len(table) > 0 {
+		return errors.New("snapshot: clip table present but clip method is none")
+	}
+	meta.Objects = tree.Len()
+	meta.Height = tree.Height()
+	meta.Root = tree.RootID()
+
+	super, err := store.Allocate(storage.KindAux)
+	if err != nil {
+		return err
+	}
+	if super != SuperPage {
+		return errors.New("snapshot: page store must be empty (superblock did not land on page 1)")
+	}
+
+	var rootPage storage.PageID
+	pages := map[rtree.NodeID]storage.PageID{}
+	if meta.Root != rtree.InvalidNode {
+		rootPage, pages, err = tree.Save(store)
+		if err != nil {
+			return err
+		}
+	}
+
+	indexFirst, indexPages, err := writeChunked(store, encodeIndex(pages))
+	if err != nil {
+		return fmt.Errorf("snapshot: writing node index: %w", err)
+	}
+
+	var clipBuf []byte
+	if len(table) > 0 {
+		clipBuf = clipindex.EncodeTable(table, meta.Dims)
+	}
+	clipFirst, clipPages, err := writeChunked(store, clipBuf)
+	if err != nil {
+		return fmt.Errorf("snapshot: writing clip table: %w", err)
+	}
+
+	layout := layout{
+		rootPage:   rootPage,
+		nodeCount:  len(pages),
+		indexFirst: indexFirst,
+		indexPages: indexPages,
+		clipFirst:  clipFirst,
+		clipPages:  clipPages,
+		clipBytes:  len(clipBuf),
+	}
+	return store.Write(super, encodeSuper(meta, layout))
+}
+
+// Read decodes a snapshot's superblock, node index, and clip table from a
+// page store, validating magic, version, checksums, and plausibility limits.
+// Node pages are left on the store for LoadTree / OpenTree.
+func Read(store storage.PageStore) (*Snapshot, error) {
+	buf, _, err := store.Read(SuperPage)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading superblock: %w", err)
+	}
+	meta, lay, err := decodeSuper(buf, store.PageSize())
+	if err != nil {
+		return nil, err
+	}
+
+	indexBuf, err := readChunked(store, lay.indexFirst, lay.indexPages, lay.nodeCount*indexEntryBytes)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading node index: %w", err)
+	}
+	pages, err := decodeIndex(indexBuf, lay.nodeCount)
+	if err != nil {
+		return nil, err
+	}
+	rootPage := lay.rootPage
+	if meta.Root != rtree.InvalidNode {
+		if got, ok := pages[meta.Root]; !ok || got != rootPage {
+			return nil, fmt.Errorf("%w: root node %d not indexed at root page %d", ErrCorrupt, meta.Root, rootPage)
+		}
+	}
+
+	var table clipindex.Table
+	if lay.clipBytes > 0 {
+		clipBuf, err := readChunked(store, lay.clipFirst, lay.clipPages, lay.clipBytes)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: reading clip table: %w", err)
+		}
+		tbl, dims, err := clipindex.DecodeTable(clipBuf)
+		if err != nil {
+			return nil, err
+		}
+		if dims != meta.Dims {
+			return nil, fmt.Errorf("%w: clip table is %d-dimensional, header says %d", ErrCorrupt, dims, meta.Dims)
+		}
+		table = tbl
+	}
+	return &Snapshot{Meta: meta, RootPage: rootPage, Pages: pages, Table: table}, nil
+}
+
+// --- streaming and file conveniences ----------------------------------------
+
+// SaveTo writes a snapshot of the tree as a byte stream (the page file
+// format) to w.
+func SaveTo(w io.Writer, tree *rtree.Tree, table clipindex.Table, meta Meta) error {
+	if meta.PageSize == 0 {
+		meta.PageSize = PageSizeFor(meta.MaxEntries, meta.Dims)
+	}
+	pager := storage.NewPager(meta.PageSize)
+	if err := Write(pager, tree, table, meta); err != nil {
+		return err
+	}
+	_, err := pager.WriteTo(w)
+	return err
+}
+
+// LoadFrom reads a snapshot stream into an in-memory pager and decodes it.
+// The returned pager holds the node pages for Snapshot.LoadTree.
+func LoadFrom(r io.Reader) (*Snapshot, *storage.Pager, error) {
+	pager, err := storage.ReadPagerFrom(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	snap, err := Read(pager)
+	if err != nil {
+		return nil, nil, err
+	}
+	return snap, pager, nil
+}
+
+// WriteFile writes a snapshot to path atomically: the pages go to a
+// temporary file in the same directory, which is fsynced and renamed over
+// path only after every page is on disk.
+func WriteFile(path string, tree *rtree.Tree, table clipindex.Table, meta Meta) error {
+	if meta.PageSize == 0 {
+		meta.PageSize = PageSizeFor(meta.MaxEntries, meta.Dims)
+	}
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	tmp.Close()
+	fail := func(err error) error {
+		os.Remove(tmpPath)
+		return err
+	}
+	// CreateTemp makes the file 0600; shipped snapshots should be readable
+	// like any file CreateFilePager makes directly.
+	if err := os.Chmod(tmpPath, 0o644); err != nil {
+		return fail(err)
+	}
+	fp, err := storage.CreateFilePager(tmpPath, meta.PageSize)
+	if err != nil {
+		return fail(err)
+	}
+	if err := Write(fp, tree, table, meta); err != nil {
+		fp.Close()
+		return fail(err)
+	}
+	if err := fp.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		return fail(err)
+	}
+	// Flush the directory entry too, so the rename itself survives a crash.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		err = d.Sync()
+		if cerr := d.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OpenFile opens a snapshot file for lazy, file-backed access. The caller
+// owns the returned FilePager and must Close it when done with the tree.
+func OpenFile(path string) (*Snapshot, *storage.FilePager, error) {
+	fp, err := storage.OpenFilePager(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	snap, err := Read(fp)
+	if err != nil {
+		fp.Close()
+		return nil, nil, err
+	}
+	return snap, fp, nil
+}
+
+// --- chunked aux-page regions ------------------------------------------------
+
+// writeChunked spreads buf over consecutively allocated aux pages and
+// returns the first page id and the page count (0, 0 for an empty buffer).
+func writeChunked(store storage.PageStore, buf []byte) (first storage.PageID, pages int, err error) {
+	pageSize := store.PageSize()
+	for off := 0; off < len(buf); off += pageSize {
+		end := off + pageSize
+		if end > len(buf) {
+			end = len(buf)
+		}
+		id, err := store.Allocate(storage.KindAux)
+		if err != nil {
+			return 0, 0, err
+		}
+		if pages == 0 {
+			first = id
+		} else if id != first+storage.PageID(pages) {
+			return 0, 0, fmt.Errorf("snapshot: non-contiguous aux page allocation (%d after %d)", id, first)
+		}
+		if err := store.Write(id, buf[off:end]); err != nil {
+			return 0, 0, err
+		}
+		pages++
+	}
+	return first, pages, nil
+}
+
+// readChunked reassembles a chunked region of exactly want bytes.
+func readChunked(store storage.PageStore, first storage.PageID, pages, want int) ([]byte, error) {
+	if want < 0 || pages < 0 || want > pages*store.PageSize() {
+		return nil, fmt.Errorf("%w: implausible chunked region (%d bytes in %d pages)", ErrCorrupt, want, pages)
+	}
+	capHint := want
+	if capHint > 1<<20 {
+		capHint = 1 << 20 // grow as real pages arrive; don't trust the header
+	}
+	buf := make([]byte, 0, capHint)
+	for i := 0; i < pages; i++ {
+		payload, kind, err := store.Read(first + storage.PageID(i))
+		if err != nil {
+			return nil, err
+		}
+		if kind != storage.KindAux {
+			return nil, fmt.Errorf("%w: page %d is %v, expected aux", ErrCorrupt, first+storage.PageID(i), kind)
+		}
+		buf = append(buf, payload...)
+	}
+	if len(buf) < want {
+		return nil, fmt.Errorf("%w: chunked region holds %d bytes, expected %d", ErrCorrupt, len(buf), want)
+	}
+	return buf[:want], nil
+}
+
+// --- node index --------------------------------------------------------------
+
+// encodeIndex serialises the node→page map in ascending node-id order so
+// snapshots are deterministic.
+func encodeIndex(pages map[rtree.NodeID]storage.PageID) []byte {
+	ids := make([]rtree.NodeID, 0, len(pages))
+	for id := range pages {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf := make([]byte, 0, len(ids)*indexEntryBytes)
+	for _, id := range ids {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(pages[id]))
+	}
+	return buf
+}
+
+func decodeIndex(buf []byte, count int) (map[rtree.NodeID]storage.PageID, error) {
+	if len(buf) < count*indexEntryBytes {
+		return nil, fmt.Errorf("%w: node index truncated", ErrCorrupt)
+	}
+	pages := make(map[rtree.NodeID]storage.PageID, count)
+	for i := 0; i < count; i++ {
+		off := i * indexEntryBytes
+		id := binary.LittleEndian.Uint32(buf[off:])
+		pid := binary.LittleEndian.Uint64(buf[off+4:])
+		if id > math.MaxInt32 {
+			return nil, fmt.Errorf("%w: node id %d out of range", ErrCorrupt, id)
+		}
+		if pid == uint64(storage.InvalidPage) || pid == uint64(SuperPage) {
+			return nil, fmt.Errorf("%w: node %d indexed at reserved page %d", ErrCorrupt, id, pid)
+		}
+		nid := rtree.NodeID(id)
+		if _, dup := pages[nid]; dup {
+			return nil, fmt.Errorf("%w: node %d indexed twice", ErrCorrupt, id)
+		}
+		pages[nid] = storage.PageID(pid)
+	}
+	return pages, nil
+}
+
+// --- superblock --------------------------------------------------------------
+
+// layout locates the snapshot's regions inside the page file.
+type layout struct {
+	rootPage   storage.PageID
+	nodeCount  int
+	indexFirst storage.PageID
+	indexPages int
+	clipFirst  storage.PageID
+	clipPages  int
+	clipBytes  int
+}
+
+func encodeSuper(meta Meta, lay layout) []byte {
+	buf := make([]byte, 0, 160+16*meta.Dims)
+	buf = append(buf, superMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(meta.PageSize))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(meta.Dims))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(meta.Variant))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(meta.MaxEntries))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(meta.MinEntries))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(meta.HilbertBits))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(meta.ClipMethod))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(meta.MaxClipPoints))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(meta.ClipTau))
+	for d := 0; d < meta.Dims; d++ {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(meta.Universe.Lo[d]))
+	}
+	for d := 0; d < meta.Dims; d++ {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(meta.Universe.Hi[d]))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(meta.Objects))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(meta.Height))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(lay.nodeCount))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(meta.Root)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(lay.rootPage))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(lay.indexFirst))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(lay.indexPages))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(lay.clipFirst))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(lay.clipPages))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(lay.clipBytes))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+	return buf
+}
+
+// cursor is a bounds-checked little-endian reader for superblock decoding.
+type cursor struct {
+	buf []byte
+	off int
+	ok  bool
+}
+
+func (c *cursor) bytes(n int) []byte {
+	if !c.ok || c.off+n > len(c.buf) {
+		c.ok = false
+		return nil
+	}
+	b := c.buf[c.off : c.off+n]
+	c.off += n
+	return b
+}
+
+func (c *cursor) u32() uint32 {
+	b := c.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (c *cursor) u64() uint64 {
+	b := c.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+func decodeSuper(buf []byte, storePageSize int) (Meta, layout, error) {
+	var meta Meta
+	var lay layout
+	if len(buf) < len(superMagic)+8 {
+		return meta, lay, fmt.Errorf("%w: superblock truncated", ErrCorrupt)
+	}
+	if string(buf[:len(superMagic)]) != superMagic {
+		return meta, lay, ErrBadMagic
+	}
+	c := &cursor{buf: buf, off: len(superMagic), ok: true}
+	if v := c.u32(); v != Version {
+		return meta, lay, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	meta.PageSize = int(c.u32())
+	meta.Dims = int(c.u32())
+	meta.Variant = rtree.Variant(c.u32())
+	meta.MaxEntries = int(c.u32())
+	meta.MinEntries = int(c.u32())
+	meta.HilbertBits = int(c.u32())
+	meta.ClipMethod = ClipMethod(c.u32())
+	meta.MaxClipPoints = int(c.u32())
+	meta.ClipTau = c.f64()
+	if !c.ok || meta.Dims < 1 || meta.Dims > geom.MaxDims {
+		return meta, lay, fmt.Errorf("%w: implausible dimensionality", ErrCorrupt)
+	}
+	lo := make(geom.Point, meta.Dims)
+	hi := make(geom.Point, meta.Dims)
+	for d := 0; d < meta.Dims; d++ {
+		lo[d] = c.f64()
+	}
+	for d := 0; d < meta.Dims; d++ {
+		hi[d] = c.f64()
+	}
+	meta.Universe = geom.Rect{Lo: lo, Hi: hi}
+	meta.Objects = int(c.u64())
+	meta.Height = int(c.u32())
+	lay.nodeCount = int(c.u32())
+	meta.Root = rtree.NodeID(int64(c.u64()))
+	lay.rootPage = storage.PageID(c.u64())
+	lay.indexFirst = storage.PageID(c.u64())
+	lay.indexPages = int(c.u32())
+	lay.clipFirst = storage.PageID(c.u64())
+	lay.clipPages = int(c.u32())
+	lay.clipBytes = int(c.u64())
+	body := c.off
+	crc := c.u32()
+	if !c.ok {
+		return meta, lay, fmt.Errorf("%w: superblock truncated", ErrCorrupt)
+	}
+	if crc32.Checksum(buf[:body], castagnoli) != crc {
+		return meta, lay, fmt.Errorf("%w: superblock checksum mismatch", ErrCorrupt)
+	}
+	if meta.PageSize != storePageSize {
+		return meta, lay, fmt.Errorf("%w: header page size %d does not match file page size %d", ErrCorrupt, meta.PageSize, storePageSize)
+	}
+	switch meta.Variant {
+	case rtree.Quadratic, rtree.Hilbert, rtree.RStar, rtree.RRStar:
+	default:
+		return meta, lay, fmt.Errorf("%w: unknown variant %d", ErrCorrupt, int(meta.Variant))
+	}
+	if meta.ClipMethod > ClipNone {
+		return meta, lay, fmt.Errorf("%w: unknown clip method %d", ErrCorrupt, uint32(meta.ClipMethod))
+	}
+	if meta.MaxEntries < 4 || rtree.PageBytesFor(meta.MaxEntries, meta.Dims) > meta.PageSize {
+		return meta, lay, fmt.Errorf("%w: node capacity %d does not fit a %d-byte page", ErrCorrupt, meta.MaxEntries, meta.PageSize)
+	}
+	if lay.nodeCount < 0 || lay.nodeCount > maxNodes {
+		return meta, lay, fmt.Errorf("%w: implausible node count %d", ErrCorrupt, lay.nodeCount)
+	}
+	if meta.Objects < 0 || meta.Objects > lay.nodeCount*meta.MaxEntries {
+		return meta, lay, fmt.Errorf("%w: implausible object count %d for %d nodes", ErrCorrupt, meta.Objects, lay.nodeCount)
+	}
+	if meta.Height < 0 || meta.Height > maxHeight {
+		return meta, lay, fmt.Errorf("%w: implausible height %d", ErrCorrupt, meta.Height)
+	}
+	if meta.Root == rtree.InvalidNode {
+		if lay.nodeCount != 0 || meta.Objects != 0 || meta.Height != 0 || lay.rootPage != storage.InvalidPage {
+			return meta, lay, fmt.Errorf("%w: empty tree with nodes attached", ErrCorrupt)
+		}
+	} else if meta.Root < 0 || lay.rootPage == storage.InvalidPage || lay.nodeCount == 0 || meta.Height < 1 {
+		return meta, lay, fmt.Errorf("%w: missing root", ErrCorrupt)
+	}
+	wantIndex := (lay.nodeCount*indexEntryBytes + meta.PageSize - 1) / meta.PageSize
+	if lay.indexPages != wantIndex {
+		return meta, lay, fmt.Errorf("%w: node index spans %d pages, expected %d", ErrCorrupt, lay.indexPages, wantIndex)
+	}
+	if lay.clipBytes < 0 || lay.clipPages < 0 || lay.clipBytes > lay.clipPages*meta.PageSize {
+		return meta, lay, fmt.Errorf("%w: implausible clip region", ErrCorrupt)
+	}
+	if lay.clipBytes == 0 && lay.clipPages != 0 {
+		return meta, lay, fmt.Errorf("%w: empty clip table spanning %d pages", ErrCorrupt, lay.clipPages)
+	}
+	if meta.ClipMethod == ClipNone && lay.clipBytes != 0 {
+		return meta, lay, fmt.Errorf("%w: clip table present but clip method is none", ErrCorrupt)
+	}
+	return meta, lay, nil
+}

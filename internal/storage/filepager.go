@@ -1,0 +1,551 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the on-disk page store and its byte format. The same
+// layout is used three ways: by FilePager for random-access page files, by
+// Pager.WriteTo to stream an in-memory pager's content to an io.Writer, and
+// by ReadPagerFrom to load such a stream back. A file is a fixed header
+// followed by equally sized page slots, so page id i lives at a computable
+// offset and can be read without touching any other page.
+//
+// Layout (all little-endian):
+//
+//	file header (32 bytes):
+//	  [0:8]   magic "CBBPGF1\x00"
+//	  [8:12]  format version (currently 1)
+//	  [12:16] page size in bytes
+//	  [16:24] page count (advisory; the file size is authoritative)
+//	  [24:28] reserved (zero)
+//	  [28:32] CRC-32C of bytes [0:28]
+//	slot i (page id i+1) at offset 32 + i*(16+pageSize):
+//	  [0]     page kind
+//	  [1]     flags (bit 0: slot in use)
+//	  [2:4]   reserved (zero)
+//	  [4:8]   payload length
+//	  [8:12]  CRC-32C of the payload
+//	  [12:16] reserved (zero)
+//	  [16:]   payload region, pageSize bytes (zero-padded past the payload)
+
+const (
+	fileMagic       = "CBBPGF1\x00"
+	fileVersion     = 1
+	fileHeaderBytes = 32
+	slotHeaderBytes = 16
+	slotInUse       = 1
+
+	// minPageSize and maxPageSize bound the page sizes accepted when reading
+	// a page file, guarding decoders against absurd allocations.
+	minPageSize = 64
+	maxPageSize = 1 << 20
+)
+
+// Errors of the on-disk page format.
+var (
+	ErrBadMagic   = errors.New("storage: not a cbb page file (bad magic)")
+	ErrBadVersion = errors.New("storage: unsupported page file version")
+	ErrCorrupt    = errors.New("storage: page file corrupt")
+	ErrReadOnlyFS = errors.New("storage: page file opened read-only")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+func encodeFileHeader(pageSize int, pageCount uint64) []byte {
+	buf := make([]byte, fileHeaderBytes)
+	copy(buf, fileMagic)
+	binary.LittleEndian.PutUint32(buf[8:], fileVersion)
+	binary.LittleEndian.PutUint32(buf[12:], uint32(pageSize))
+	binary.LittleEndian.PutUint64(buf[16:], pageCount)
+	binary.LittleEndian.PutUint32(buf[28:], checksum(buf[:28]))
+	return buf
+}
+
+func decodeFileHeader(buf []byte) (pageSize int, pageCount uint64, err error) {
+	if len(buf) < fileHeaderBytes {
+		return 0, 0, fmt.Errorf("%w: header truncated", ErrCorrupt)
+	}
+	if string(buf[:8]) != fileMagic {
+		return 0, 0, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:]); v != fileVersion {
+		return 0, 0, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	if got, want := binary.LittleEndian.Uint32(buf[28:]), checksum(buf[:28]); got != want {
+		return 0, 0, fmt.Errorf("%w: header checksum mismatch", ErrCorrupt)
+	}
+	ps := int(binary.LittleEndian.Uint32(buf[12:]))
+	if ps < minPageSize || ps > maxPageSize {
+		return 0, 0, fmt.Errorf("%w: implausible page size %d", ErrCorrupt, ps)
+	}
+	return ps, binary.LittleEndian.Uint64(buf[16:]), nil
+}
+
+func encodeSlotHeader(kind PageKind, inUse bool, payload []byte) []byte {
+	buf := make([]byte, slotHeaderBytes)
+	buf[0] = byte(kind)
+	if inUse {
+		buf[1] = slotInUse
+	}
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[8:], checksum(payload))
+	return buf
+}
+
+type slotMeta struct {
+	kind   PageKind
+	inUse  bool
+	length int
+}
+
+func decodeSlotHeader(buf []byte, pageSize int) (slotMeta, uint32, error) {
+	if len(buf) < slotHeaderBytes {
+		return slotMeta{}, 0, fmt.Errorf("%w: slot header truncated", ErrCorrupt)
+	}
+	m := slotMeta{
+		kind:   PageKind(buf[0]),
+		inUse:  buf[1]&slotInUse != 0,
+		length: int(binary.LittleEndian.Uint32(buf[4:])),
+	}
+	if m.length > pageSize {
+		return slotMeta{}, 0, fmt.Errorf("%w: slot payload length %d exceeds page size %d", ErrCorrupt, m.length, pageSize)
+	}
+	return m, binary.LittleEndian.Uint32(buf[8:]), nil
+}
+
+// FilePager is an on-disk implementation of the PageStore contract: a page
+// file whose fixed-size slots are read and written in place, so a tree can
+// run directly off disk through the same buffer pool and I/O counters as the
+// in-memory simulation. Every payload is protected by a CRC-32C verified on
+// read. It is safe for concurrent use; Read performs the disk access outside
+// the lock so concurrent readers proceed in parallel.
+//
+// Opening is O(1) in the file size: the slot directory and free list are
+// rebuilt lazily, on the first operation that needs them (Allocate, Write,
+// Free, Usage); the pure read path never does. Files that cannot be opened
+// for writing are opened read-only — reads work as usual, mutations return
+// ErrReadOnlyFS, and Close leaves the file bytes and mtime untouched.
+type FilePager struct {
+	mu        sync.Mutex
+	f         *os.File
+	path      string
+	pageSize  int
+	readonly  bool
+	dirty     bool       // header must be rewritten on Sync/Close
+	slotCount int        // number of slots in the file
+	dir       []slotMeta // lazy slot directory; nil until ensureDirLocked
+	free      []PageID   // valid only once dir is built
+	closed    bool
+	reads     int64 // atomic: pages read from disk
+	writes    int64 // atomic: pages written to disk
+}
+
+var (
+	_ PageStore = (*Pager)(nil)
+	_ PageStore = (*FilePager)(nil)
+)
+
+// CreateFilePager creates (or truncates) a page file at path with the given
+// page size (DefaultPageSize when pageSize <= 0).
+func CreateFilePager(path string, pageSize int) (*FilePager, error) {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	if pageSize < minPageSize || pageSize > maxPageSize {
+		return nil, fmt.Errorf("storage: page size %d out of range [%d, %d]", pageSize, minPageSize, maxPageSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	p := &FilePager{f: f, path: path, pageSize: pageSize, dir: []slotMeta{}, dirty: true}
+	if _, err := f.WriteAt(encodeFileHeader(pageSize, 0), 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// OpenFilePager opens an existing page file, validating its header. The
+// file is opened read-write when possible, falling back to read-only (e.g.
+// for a snapshot shipped with mode 0444 or on a read-only mount); in that
+// case mutations return ErrReadOnlyFS. Opening costs O(1): slot metadata is
+// read on demand, never scanned up front.
+func OpenFilePager(path string) (*FilePager, error) {
+	readonly := false
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		f, err = os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		readonly = true
+	}
+	p, err := loadFilePager(f, path, readonly)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+func loadFilePager(f *os.File, path string, readonly bool) (*FilePager, error) {
+	hdr := make([]byte, fileHeaderBytes)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	pageSize, _, err := decodeFileHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	slotSize := int64(slotHeaderBytes + pageSize)
+	body := st.Size() - fileHeaderBytes
+	if body < 0 || body%slotSize != 0 {
+		return nil, fmt.Errorf("%w: file size %d does not match page size %d", ErrCorrupt, st.Size(), pageSize)
+	}
+	return &FilePager{
+		f: f, path: path, pageSize: pageSize,
+		readonly: readonly, slotCount: int(body / slotSize),
+	}, nil
+}
+
+// ensureDirLocked builds the slot directory and free list by scanning the
+// slot headers; p.mu must be held. It runs at most once per pager, and only
+// for operations that genuinely need global state (Allocate, Write, Free,
+// Usage) — never on the open or read path.
+func (p *FilePager) ensureDirLocked() error {
+	if p.dir != nil {
+		return nil
+	}
+	dir := make([]slotMeta, p.slotCount)
+	var free []PageID
+	buf := make([]byte, slotHeaderBytes)
+	slotSize := int64(slotHeaderBytes + p.pageSize)
+	for i := 0; i < p.slotCount; i++ {
+		if _, err := p.f.ReadAt(buf, fileHeaderBytes+int64(i)*slotSize); err != nil {
+			return fmt.Errorf("%w: reading slot %d header: %v", ErrCorrupt, i, err)
+		}
+		m, _, err := decodeSlotHeader(buf, p.pageSize)
+		if err != nil {
+			return fmt.Errorf("slot %d: %w", i, err)
+		}
+		dir[i] = m
+		if !m.inUse {
+			free = append(free, PageID(i+1))
+		}
+	}
+	p.dir, p.free = dir, free
+	return nil
+}
+
+// Path returns the file path backing the pager.
+func (p *FilePager) Path() string { return p.path }
+
+// PageSize returns the configured page size in bytes.
+func (p *FilePager) PageSize() int { return p.pageSize }
+
+// DiskStats returns the number of pages physically read from and written to
+// the file so far (as opposed to the simulated node-access counters, which
+// count logical accesses whether or not they hit a buffer).
+func (p *FilePager) DiskStats() (reads, writes int64) {
+	return atomic.LoadInt64(&p.reads), atomic.LoadInt64(&p.writes)
+}
+
+func (p *FilePager) slotOffset(id PageID) int64 {
+	return fileHeaderBytes + int64(id-1)*int64(slotHeaderBytes+p.pageSize)
+}
+
+// Allocate reserves a new page of the given kind and returns its id, reusing
+// freed slots when available.
+func (p *FilePager) Allocate(kind PageKind) (PageID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return InvalidPage, ErrPagerClosed
+	}
+	if p.readonly {
+		return InvalidPage, ErrReadOnlyFS
+	}
+	if err := p.ensureDirLocked(); err != nil {
+		return InvalidPage, err
+	}
+	var id PageID
+	appended := false
+	if n := len(p.free); n > 0 {
+		id = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		id = PageID(len(p.dir) + 1)
+		p.dir = append(p.dir, slotMeta{})
+		p.slotCount = len(p.dir)
+		appended = true
+	}
+	p.dir[id-1] = slotMeta{kind: kind, inUse: true}
+	// Only the 16-byte slot header is written here; the payload region is
+	// materialised by extending the file (zeros), so the Allocate+Write
+	// pattern of the snapshot writer pays one full-page write, not two.
+	if _, err := p.f.WriteAt(encodeSlotHeader(kind, true, nil), p.slotOffset(id)); err != nil {
+		return InvalidPage, fmt.Errorf("storage: allocating page %d: %w", id, err)
+	}
+	if appended {
+		if err := p.f.Truncate(p.slotOffset(id) + int64(slotHeaderBytes+p.pageSize)); err != nil {
+			return InvalidPage, fmt.Errorf("storage: extending file for page %d: %w", id, err)
+		}
+	}
+	p.dirty = true
+	return id, nil
+}
+
+// writeSlotLocked writes a slot header and payload; p.mu must be held.
+func (p *FilePager) writeSlotLocked(id PageID, kind PageKind, payload []byte) error {
+	buf := make([]byte, slotHeaderBytes+p.pageSize)
+	copy(buf, encodeSlotHeader(kind, true, payload))
+	copy(buf[slotHeaderBytes:], payload)
+	if _, err := p.f.WriteAt(buf, p.slotOffset(id)); err != nil {
+		return fmt.Errorf("storage: writing page %d: %w", id, err)
+	}
+	atomic.AddInt64(&p.writes, 1)
+	return nil
+}
+
+// Write stores the payload in the page. The payload must fit in one page.
+func (p *FilePager) Write(id PageID, payload []byte) error {
+	if len(payload) > p.pageSize {
+		return fmt.Errorf("%w: %d > %d", ErrPageTooLarge, len(payload), p.pageSize)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPagerClosed
+	}
+	if p.readonly {
+		return ErrReadOnlyFS
+	}
+	if err := p.ensureDirLocked(); err != nil {
+		return err
+	}
+	if id < 1 || int(id) > len(p.dir) || !p.dir[id-1].inUse {
+		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+	kind := p.dir[id-1].kind
+	if err := p.writeSlotLocked(id, kind, payload); err != nil {
+		return err
+	}
+	p.dir[id-1].length = len(payload)
+	p.dirty = true
+	return nil
+}
+
+// Read returns a copy of the page payload and its kind, verifying the slot
+// header and payload checksum straight off disk — it needs no directory, so
+// a freshly opened pager serves its first read with a single page access.
+// The disk access happens outside the pager lock.
+func (p *FilePager) Read(id PageID) ([]byte, PageKind, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, 0, ErrPagerClosed
+	}
+	count := p.slotCount
+	p.mu.Unlock()
+	if id < 1 || int(id) > count {
+		return nil, 0, fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+
+	buf := make([]byte, slotHeaderBytes+p.pageSize)
+	if _, err := p.f.ReadAt(buf, p.slotOffset(id)); err != nil {
+		return nil, 0, fmt.Errorf("storage: reading page %d: %w", id, err)
+	}
+	atomic.AddInt64(&p.reads, 1)
+	m, crc, err := decodeSlotHeader(buf, p.pageSize)
+	if err != nil {
+		return nil, 0, fmt.Errorf("page %d: %w", id, err)
+	}
+	if !m.inUse {
+		return nil, 0, fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+	payload := buf[slotHeaderBytes : slotHeaderBytes+m.length]
+	if checksum(payload) != crc {
+		return nil, 0, fmt.Errorf("%w: page %d payload checksum mismatch", ErrCorrupt, id)
+	}
+	return payload, m.kind, nil
+}
+
+// Free releases a page for reuse.
+func (p *FilePager) Free(id PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPagerClosed
+	}
+	if p.readonly {
+		return ErrReadOnlyFS
+	}
+	if err := p.ensureDirLocked(); err != nil {
+		return err
+	}
+	if id < 1 || int(id) > len(p.dir) || !p.dir[id-1].inUse {
+		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+	hdr := encodeSlotHeader(p.dir[id-1].kind, false, nil)
+	if _, err := p.f.WriteAt(hdr, p.slotOffset(id)); err != nil {
+		return fmt.Errorf("storage: freeing page %d: %w", id, err)
+	}
+	p.dir[id-1] = slotMeta{}
+	p.free = append(p.free, id)
+	p.dirty = true
+	return nil
+}
+
+// Usage returns a storage breakdown by page kind. It scans the slot
+// directory (building it on first use), so the first call on a freshly
+// opened pager is O(page count).
+func (p *FilePager) Usage() Usage {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	u := Usage{Pages: make(map[PageKind]int), Bytes: make(map[PageKind]int)}
+	if err := p.ensureDirLocked(); err != nil {
+		return u
+	}
+	for _, m := range p.dir {
+		if !m.inUse {
+			continue
+		}
+		u.Pages[m.kind]++
+		u.Bytes[m.kind] += m.length
+		u.TotalPages++
+		u.TotalBytes += m.length
+	}
+	return u
+}
+
+// Sync flushes the file to stable storage, rewriting the file header first
+// if pages were allocated or freed since the last sync. On a read-only
+// pager it is a no-op.
+func (p *FilePager) Sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPagerClosed
+	}
+	return p.syncLocked()
+}
+
+func (p *FilePager) syncLocked() error {
+	if p.readonly {
+		return nil
+	}
+	if p.dirty {
+		if _, err := p.f.WriteAt(encodeFileHeader(p.pageSize, uint64(p.slotCount)), 0); err != nil {
+			return err
+		}
+		p.dirty = false
+	}
+	return p.f.Sync()
+}
+
+// Close syncs (when the pager has unflushed writes) and closes the file; a
+// read-only or untouched pager leaves the file bytes and mtime unchanged.
+// Subsequent operations fail with ErrPagerClosed. Close is idempotent.
+func (p *FilePager) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	err := p.syncLocked()
+	if cerr := p.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteTo streams the pager's content to w in the on-disk page file format,
+// producing bytes that OpenFilePager and ReadPagerFrom accept. It implements
+// io.WriterTo.
+func (p *Pager) WriteTo(w io.Writer) (int64, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return 0, ErrPagerClosed
+	}
+	count := uint64(p.next - 1)
+	var written int64
+	n, err := w.Write(encodeFileHeader(p.pageSize, count))
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	slot := make([]byte, slotHeaderBytes+p.pageSize)
+	for id := PageID(1); id < p.next; id++ {
+		for i := range slot {
+			slot[i] = 0
+		}
+		if pg, ok := p.pages[id]; ok {
+			copy(slot, encodeSlotHeader(pg.kind, true, pg.data))
+			copy(slot[slotHeaderBytes:], pg.data)
+		} else {
+			copy(slot, encodeSlotHeader(0, false, nil))
+		}
+		n, err := w.Write(slot)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// ReadPagerFrom parses a page file stream (as produced by Pager.WriteTo or
+// by a FilePager) into a new in-memory Pager, verifying the header and every
+// payload checksum. Page ids are preserved.
+func ReadPagerFrom(r io.Reader) (*Pager, error) {
+	hdr := make([]byte, fileHeaderBytes)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	pageSize, _, err := decodeFileHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
+	p := NewPager(pageSize)
+	slot := make([]byte, slotHeaderBytes+pageSize)
+	for {
+		_, err := io.ReadFull(r, slot)
+		if err == io.EOF {
+			return p, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated page slot: %v", ErrCorrupt, err)
+		}
+		id := p.next
+		p.next++
+		m, crc, err := decodeSlotHeader(slot, pageSize)
+		if err != nil {
+			return nil, fmt.Errorf("page %d: %w", id, err)
+		}
+		if !m.inUse {
+			continue
+		}
+		payload := slot[slotHeaderBytes : slotHeaderBytes+m.length]
+		if checksum(payload) != crc {
+			return nil, fmt.Errorf("%w: page %d payload checksum mismatch", ErrCorrupt, id)
+		}
+		p.pages[id] = &page{kind: m.kind, data: append([]byte(nil), payload...)}
+	}
+}

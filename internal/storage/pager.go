@@ -48,6 +48,25 @@ func (k PageKind) String() string {
 	}
 }
 
+// PageStore is the pager contract shared by the in-memory Pager and the
+// on-disk FilePager: fixed-size pages identified by PageID, each tagged with
+// a PageKind for storage-breakdown accounting. Implementations must be safe
+// for concurrent use.
+type PageStore interface {
+	// PageSize returns the page size in bytes; payloads may not exceed it.
+	PageSize() int
+	// Allocate reserves a new page of the given kind and returns its id.
+	Allocate(kind PageKind) (PageID, error)
+	// Write stores the payload in the page (payload must fit in one page).
+	Write(id PageID, payload []byte) error
+	// Read returns a copy of the page payload and its kind.
+	Read(id PageID) ([]byte, PageKind, error)
+	// Free releases a page for reuse.
+	Free(id PageID) error
+	// Usage returns a storage breakdown by page kind.
+	Usage() Usage
+}
+
 type page struct {
 	kind PageKind
 	data []byte

@@ -1,0 +1,218 @@
+package cbb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"cbb/internal/clipindex"
+	"cbb/internal/rtree"
+	"cbb/internal/snapshot"
+)
+
+// This file is the public surface of the persistence subsystem: snapshots of
+// a tree (SaveTo / Load, any io.Writer / io.Reader) and file-backed trees
+// that serve queries directly off an on-disk page file (Open / Create).
+// The format is defined in internal/snapshot: a versioned page file whose
+// first page is a checksummed superblock, followed by the paper's Figure 4a
+// node pages and Figure 4b clip table.
+
+// ErrReadOnly is returned by mutating operations (Insert, Delete, BulkLoad,
+// Flush) on a tree opened with Open: such a tree runs directly off its
+// snapshot file and cannot be modified in place. To evolve a snapshot, Load
+// it into memory, mutate, and save it again.
+var ErrReadOnly = rtree.ErrReadOnly
+
+// snapshotMeta maps the tree's effective options onto a snapshot header.
+func (t *Tree) snapshotMeta() snapshot.Meta {
+	cfg := t.tree.Config()
+	method := snapshot.ClipNone
+	switch t.opts.Clipping {
+	case ClipStairline:
+		method = snapshot.ClipStairline
+	case ClipSkyline:
+		method = snapshot.ClipSkyline
+	}
+	return snapshot.Meta{
+		Dims:          cfg.Dims,
+		Variant:       cfg.Variant,
+		MaxEntries:    cfg.MaxEntries,
+		MinEntries:    cfg.MinEntries,
+		HilbertBits:   cfg.HilbertBits,
+		Universe:      cfg.Universe,
+		ClipMethod:    method,
+		MaxClipPoints: t.opts.MaxClipPoints,
+		ClipTau:       t.opts.ClipThreshold,
+	}
+}
+
+// optionsFromMeta reconstructs the public Options stored in a snapshot
+// header.
+func optionsFromMeta(m snapshot.Meta) (Options, error) {
+	opts := Options{
+		Dims:          m.Dims,
+		Variant:       m.Variant,
+		MaxEntries:    m.MaxEntries,
+		MinEntries:    m.MinEntries,
+		MaxClipPoints: m.MaxClipPoints,
+		ClipThreshold: m.ClipTau,
+		Universe:      m.Universe,
+	}
+	switch m.ClipMethod {
+	case snapshot.ClipStairline:
+		opts.Clipping = ClipStairline
+	case snapshot.ClipSkyline:
+		opts.Clipping = ClipSkyline
+	case snapshot.ClipNone:
+		opts.Clipping = ClipNone
+	default:
+		return opts, fmt.Errorf("cbb: snapshot has unknown clip method %d", m.ClipMethod)
+	}
+	return opts, nil
+}
+
+// table returns the clip table to persist (nil when clipping is disabled).
+func (t *Tree) table() clipindex.Table {
+	if t.idx == nil {
+		return nil
+	}
+	return t.idx.Table()
+}
+
+// restore assembles a public Tree around a decoded snapshot's R-tree and
+// clip table.
+func restore(snap *snapshot.Snapshot, base *rtree.Tree) (*Tree, error) {
+	opts, err := optionsFromMeta(snap.Meta)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{opts: opts, tree: base}
+	if opts.Clipping != ClipNone {
+		idx, err := clipindex.Restore(base, opts.clipParams(), snap.Table)
+		if err != nil {
+			return nil, err
+		}
+		t.idx = idx
+	}
+	return t, nil
+}
+
+// SaveTo writes a snapshot of the tree — configuration, node pages, and clip
+// table — to w. The snapshot is self-describing: Load and Open reconstruct
+// the tree without any out-of-band configuration, and reject corrupt or
+// truncated input via magic, version, and checksum validation.
+func (t *Tree) SaveTo(w io.Writer) error {
+	return snapshot.SaveTo(w, t.tree, t.table(), t.snapshotMeta())
+}
+
+// Load reads a snapshot previously written with SaveTo and returns a fully
+// in-memory tree. The clip table is restored as saved, not recomputed, so
+// queries against the loaded tree produce bit-identical results and I/O
+// counts to the original. Structural soundness can be checked on demand with
+// Validate.
+func Load(r io.Reader) (*Tree, error) {
+	snap, pager, err := snapshot.LoadFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	base, err := snap.LoadTree(pager)
+	if err != nil {
+		return nil, err
+	}
+	return restore(snap, base)
+}
+
+// Open opens a snapshot file as a file-backed, read-only tree: node pages
+// are decoded on demand from the file through a FilePager, so opening is
+// near-instant regardless of index size, and every query pays its page
+// accesses against the same I/O counters and optional buffer pool as an
+// in-memory tree. Close releases the file. Mutations return ErrReadOnly.
+func Open(path string) (*Tree, error) {
+	snap, fp, err := snapshot.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	base, err := snap.OpenTree(fp)
+	if err != nil {
+		fp.Close()
+		return nil, err
+	}
+	t, err := restore(snap, base)
+	if err != nil {
+		fp.Close()
+		return nil, err
+	}
+	t.pager = fp
+	return t, nil
+}
+
+// Create makes a new in-memory tree bound to a snapshot file at path: the
+// file is written immediately (so path is known to be writable) and
+// rewritten atomically on every Flush or Close. The tree itself stays fully
+// mutable; Create + Flush is the "build once, ship the file" half of the
+// workflow whose other half is Open.
+func Create(path string, opts Options) (*Tree, error) {
+	t, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	t.path = path
+	if err := t.Flush(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Flush writes the current state of a tree created with Create to its
+// snapshot file, atomically (temp file + rename). It returns ErrReadOnly
+// for trees opened with Open and an error for trees with no bound file.
+func (t *Tree) Flush() error {
+	if t.pager != nil {
+		return ErrReadOnly
+	}
+	if t.path == "" {
+		return errors.New("cbb: tree has no snapshot file; use Create, or SaveTo an io.Writer")
+	}
+	return snapshot.WriteFile(t.path, t.tree, t.table(), t.snapshotMeta())
+}
+
+// Close releases the tree's persistence resources: a tree created with
+// Create is flushed to its snapshot file, and a tree opened with Open
+// releases its page file. Closing a tree with no persistence binding is a
+// no-op. The tree must not be used afterwards.
+func (t *Tree) Close() error {
+	if t.pager != nil {
+		return t.pager.Close()
+	}
+	if t.path != "" {
+		return t.Flush()
+	}
+	return nil
+}
+
+// ReadOnly reports whether the tree is file-backed via Open and therefore
+// rejects mutations with ErrReadOnly.
+func (t *Tree) ReadOnly() bool { return t.tree.ReadOnly() }
+
+// Err returns the first background page-fault failure of a file-backed
+// tree (an unreadable or corrupt page hit during a query), or nil. Queries
+// treat such nodes as empty instead of panicking; callers that need
+// certainty check Err after a batch, or Validate/Materialize up front.
+func (t *Tree) Err() error { return t.tree.Err() }
+
+// Materialize faults every node of a file-backed tree into memory (a warm
+// start), verifying that all pages are readable. It is a no-op for
+// in-memory trees and must not run concurrently with queries.
+func (t *Tree) Materialize() error { return t.tree.Materialize() }
+
+// FileStats reports the physical page I/O of a tree opened with Open: pages
+// actually read from and written to the snapshot file. ok is false for
+// trees without a file backing. Unlike IOStats — which counts every logical
+// node access — FileStats moves only when a page is faulted in from disk.
+func (t *Tree) FileStats() (reads, writes int64, ok bool) {
+	if t.pager == nil {
+		return 0, 0, false
+	}
+	reads, writes = t.pager.DiskStats()
+	return reads, writes, true
+}

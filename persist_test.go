@@ -1,0 +1,400 @@
+package cbb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// corpusItems builds a deterministic item set in d dimensions.
+func corpusItems(d, n int, seed int64) []Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	for i := range items {
+		lo := make(Point, d)
+		hi := make(Point, d)
+		for j := 0; j < d; j++ {
+			lo[j] = rng.Float64() * 1000
+			hi[j] = lo[j] + rng.Float64()*12
+		}
+		items[i] = Item{Object: ObjectID(i), Rect: Rect{Lo: lo, Hi: hi}}
+	}
+	return items
+}
+
+// corpusQueries builds a deterministic query batch in d dimensions.
+func corpusQueries(d, n int, seed int64) []Rect {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]Rect, n)
+	for i := range qs {
+		lo := make(Point, d)
+		hi := make(Point, d)
+		for j := 0; j < d; j++ {
+			lo[j] = rng.Float64() * 900
+			hi[j] = lo[j] + 20 + rng.Float64()*120
+		}
+		qs[i] = Rect{Lo: lo, Hi: hi}
+	}
+	return qs
+}
+
+// assertTreesEqual checks that two trees agree bit-for-bit on structure and
+// query results: Stats, Len, Height, and SearchAll (including result order)
+// over a query batch.
+func assertTreesEqual(t *testing.T, want, got *Tree, queries []Rect) {
+	t.Helper()
+	if want.Len() != got.Len() || want.Height() != got.Height() {
+		t.Fatalf("shape differs: %d/%d vs %d/%d", want.Len(), want.Height(), got.Len(), got.Height())
+	}
+	if ws, gs := want.Stats(), got.Stats(); !reflect.DeepEqual(ws, gs) {
+		t.Fatalf("stats differ:\n  want %+v\n  got  %+v", ws, gs)
+	}
+	for i, q := range queries {
+		wr, gr := want.SearchAll(q), got.SearchAll(q)
+		if !reflect.DeepEqual(wr, gr) {
+			t.Fatalf("query %d: %d results vs %d, or order differs", i, len(wr), len(gr))
+		}
+	}
+}
+
+// TestSnapshotRoundTripMatrix covers the full encode/decode matrix: all four
+// variants, dims 1–3, all three clip methods, and three tree shapes (empty,
+// single object, bulk loaded), through both Load (in-memory) and Open
+// (file-backed).
+func TestSnapshotRoundTripMatrix(t *testing.T) {
+	variants := []Variant{QRTree, HRTree, RStarTree, RRStarTree}
+	methods := []ClipMethod{ClipStairline, ClipSkyline, ClipNone}
+	shapes := []string{"empty", "single", "bulk"}
+	dir := t.TempDir()
+
+	for _, v := range variants {
+		for d := 1; d <= 3; d++ {
+			for _, m := range methods {
+				for _, shape := range shapes {
+					name := fmt.Sprintf("%v/%dd/%v/%s", v, d, m, shape)
+					t.Run(name, func(t *testing.T) {
+						orig, err := New(Options{Dims: d, Variant: v, Clipping: m})
+						if err != nil {
+							t.Fatal(err)
+						}
+						switch shape {
+						case "single":
+							if err := orig.Insert(corpusItems(d, 1, 3)[0].Rect, 0); err != nil {
+								t.Fatal(err)
+							}
+						case "bulk":
+							if err := orig.BulkLoad(corpusItems(d, 400, 3)); err != nil {
+								t.Fatal(err)
+							}
+						}
+						queries := corpusQueries(d, 12, 5)
+
+						var buf bytes.Buffer
+						if err := orig.SaveTo(&buf); err != nil {
+							t.Fatal(err)
+						}
+						loaded, err := Load(bytes.NewReader(buf.Bytes()))
+						if err != nil {
+							t.Fatal(err)
+						}
+						assertTreesEqual(t, orig, loaded, queries)
+						if err := loaded.Validate(); err != nil {
+							t.Fatalf("loaded tree invalid: %v", err)
+						}
+						// The snapshot stores the effective universe, while
+						// fresh Options may leave it zero; compare the rest.
+						lo, oo := loaded.Options(), orig.Options()
+						lo.Universe, oo.Universe = Rect{}, Rect{}
+						if !reflect.DeepEqual(lo, oo) {
+							t.Fatalf("options differ after load:\n  want %+v\n  got  %+v", oo, lo)
+						}
+
+						path := filepath.Join(dir, fmt.Sprintf("m-%v-%d-%v-%s.cbb", v, d, m, shape))
+						f, err := os.Create(path)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if _, err := f.Write(buf.Bytes()); err != nil {
+							t.Fatal(err)
+						}
+						if err := f.Close(); err != nil {
+							t.Fatal(err)
+						}
+						opened, err := Open(path)
+						if err != nil {
+							t.Fatal(err)
+						}
+						defer opened.Close()
+						assertTreesEqual(t, orig, opened, queries)
+						if err := opened.Err(); err != nil {
+							t.Fatal(err)
+						}
+						if err := opened.Validate(); err != nil {
+							t.Fatalf("opened tree invalid: %v", err)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestFileBackedQueryIO is the acceptance criterion of the persistence
+// subsystem: a bulk-loaded clipped tree, saved and reopened file-backed,
+// returns bit-identical SearchAll results and Stats, serves the queries
+// directly off the FilePager, and its leaf/dir read counts match the
+// in-memory tree for the same batch.
+func TestFileBackedQueryIO(t *testing.T) {
+	orig, err := New(Options{Dims: 2, Variant: RRStarTree, Clipping: ClipStairline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.BulkLoad(corpusItems(2, 3000, 11)); err != nil {
+		t.Fatal(err)
+	}
+	queries := corpusQueries(2, 80, 13)
+
+	path := filepath.Join(t.TempDir(), "accept.cbb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.SaveTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	opened, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+	assertTreesEqual(t, orig, opened, queries)
+
+	orig.ResetIOStats()
+	opened.ResetIOStats()
+	for _, q := range queries {
+		orig.Search(q, func(ObjectID, Rect) bool { return true })
+		opened.Search(q, func(ObjectID, Rect) bool { return true })
+	}
+	mem, file := orig.IOStats(), opened.IOStats()
+	if mem.LeafReads != file.LeafReads || mem.DirReads != file.DirReads {
+		t.Fatalf("I/O differs: in-memory leaf=%d dir=%d, file-backed leaf=%d dir=%d",
+			mem.LeafReads, mem.DirReads, file.LeafReads, file.DirReads)
+	}
+	if mem.LeafReads == 0 {
+		t.Fatal("query batch charged no leaf reads")
+	}
+	reads, _, ok := opened.FileStats()
+	if !ok || reads == 0 {
+		t.Fatalf("queries did not run against the FilePager (reads=%d ok=%v)", reads, ok)
+	}
+	if err := opened.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same snapshot loaded fully in memory is also bit-identical.
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	loaded, err := Load(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTreesEqual(t, orig, loaded, queries)
+}
+
+func TestOpenIsReadOnly(t *testing.T) {
+	orig, err := New(Options{Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.BulkLoad(corpusItems(2, 200, 1)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ro.cbb")
+	f, _ := os.Create(path)
+	if err := orig.SaveTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	opened, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+	if !opened.ReadOnly() {
+		t.Fatal("opened tree must report ReadOnly")
+	}
+	if err := opened.Insert(R(0, 0, 1, 1), 999); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Insert: %v, want ErrReadOnly", err)
+	}
+	if _, err := opened.Delete(R(0, 0, 1, 1), 0); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Delete: %v, want ErrReadOnly", err)
+	}
+	if err := opened.BulkLoad(nil); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("BulkLoad: %v, want ErrReadOnly", err)
+	}
+	if err := opened.Flush(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Flush: %v, want ErrReadOnly", err)
+	}
+}
+
+func TestCreateFlushOpenCycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cycle.cbb")
+	created, err := Create(path, Options{Dims: 2, Variant: RStarTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.ReadOnly() {
+		t.Fatal("created tree must stay mutable")
+	}
+	items := corpusItems(2, 500, 21)
+	for _, it := range items {
+		if err := created.Insert(it.Rect, it.Object); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := created.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	opened, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+	assertTreesEqual(t, created, opened, corpusQueries(2, 20, 23))
+}
+
+// TestFileBackedConcurrentReaders exercises the lazy fault path under the
+// race detector: many goroutines query a freshly opened (cold, nothing
+// faulted yet) file-backed tree at once.
+func TestFileBackedConcurrentReaders(t *testing.T) {
+	orig, err := New(Options{Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.BulkLoad(corpusItems(2, 2000, 31)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "conc.cbb")
+	f, _ := os.Create(path)
+	if err := orig.SaveTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	opened, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+	opened.AttachBufferPool(64)
+	queries := corpusQueries(2, 60, 33)
+	want := make([]int, len(queries))
+	for i, q := range queries {
+		want[i] = orig.Count(q)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, q := range queries {
+				if got := opened.Count(q); got != want[i] {
+					t.Errorf("query %d: %d results, want %d", i, got, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := opened.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	orig, err := New(Options{Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.BulkLoad(corpusItems(2, 150, 41)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, n := range []int{0, 1, 16, 32, 48, len(raw) / 3, len(raw) - 2} {
+		if _, err := Load(bytes.NewReader(raw[:n])); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+	// A flipped byte must either fail decoding or be provably harmless (it
+	// landed in zero padding outside any checksummed payload), in which case
+	// the decoded tree is identical to the original.
+	for off := 0; off < len(raw); off += 97 {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x5a
+		got, err := Load(bytes.NewReader(bad))
+		if err != nil {
+			continue
+		}
+		assertTreesEqual(t, orig, got, corpusQueries(2, 5, 43))
+	}
+}
+
+// FuzzDecodeSnapshot fuzzes the whole snapshot decode path (page container,
+// superblock, node index, clip table, node pages): arbitrary input must
+// produce an error or a valid tree, never a panic or runaway allocation.
+func FuzzDecodeSnapshot(f *testing.F) {
+	for _, opts := range []Options{
+		{Dims: 2},
+		{Dims: 3, Variant: HRTree, Clipping: ClipSkyline},
+		{Dims: 1, Variant: QRTree, Clipping: ClipNone},
+	} {
+		tree, err := New(opts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := tree.BulkLoad(corpusItems(opts.Dims, 120, 7)); err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tree.SaveTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:64])
+	}
+	f.Add([]byte("CBBPGF1\x00garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tree, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A decode that succeeds must yield a coherent, queryable tree.
+		s := tree.Stats()
+		if s.Objects != tree.Len() {
+			t.Fatalf("stats/len disagree: %d vs %d", s.Objects, tree.Len())
+		}
+		tree.Count(corpusQueries(tree.Options().Dims, 1, 1)[0])
+	})
+}
