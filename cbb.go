@@ -30,10 +30,13 @@
 // A built tree can be serialised to a versioned, checksummed snapshot and
 // reconstructed without rebuilding: SaveTo/Load round-trip through any
 // io.Writer/io.Reader, while Create/Open bind a tree to a snapshot file.
-// Open in particular returns a read-only tree that serves queries directly
-// off the on-disk page file, faulting node pages in on demand through the
-// same buffer pool and I/O counters as the in-memory simulation. See
-// persist.go and the README's Persistence section.
+// Open returns a tree that serves queries directly off the on-disk page
+// file, faulting node pages in on demand through the same buffer pool and
+// I/O counters as the in-memory simulation — and, when the file is
+// writable, accepts Insert/Delete and commits the dirty pages back
+// atomically (via a write-ahead log) on every Flush or Close. OpenReadOnly
+// forces the previous read-only behaviour. See persist.go and the README's
+// "Updates & durability" section.
 //
 // # Concurrency
 //
@@ -48,13 +51,13 @@
 // exploit it to fan work out over a goroutine pool while keeping result
 // counts and I/O accounting exactly equal to a sequential run.
 //
-// File-backed trees opened with Open keep the same reader guarantees: they
-// are read-only by construction (mutations return ErrReadOnly), and the
+// File-backed trees opened with Open keep the same reader guarantees: the
 // on-demand page faulting is internally synchronised, so any number of
 // goroutines may run queries concurrently against one file-backed tree with
-// exactly the sequential results and I/O accounting. Only Materialize,
-// Validate (which materializes implicitly), and Close must not overlap with
-// in-flight queries.
+// exactly the sequential results and I/O accounting. Mutations follow the
+// usual rule — they must not overlap with queries — and additionally
+// Materialize, Validate (which materializes implicitly), Flush, and Close
+// must not overlap with in-flight queries.
 package cbb
 
 import (
@@ -208,11 +211,9 @@ type Tree struct {
 	tree *rtree.Tree
 	idx  *clipindex.Index // nil when clipping is disabled
 
-	// Persistence bindings (see persist.go): pager is the on-disk page store
-	// of a tree opened with Open; path is the snapshot path of a tree
-	// created with Create.
+	// Persistence binding (see persist.go): pager is the on-disk page store
+	// of a tree opened with Open/OpenReadOnly or created with Create.
 	pager *storage.FilePager
-	path  string
 }
 
 // New creates an empty tree.

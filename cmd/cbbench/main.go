@@ -11,11 +11,14 @@
 //	cbbench -exp table1 -datasets rea02,axo03 -variants "R*-tree,RR*-tree"
 //
 // Experiments: fig01, fig08, fig09, fig10, fig11, table1, fig12, fig13,
-// fig14, join, fig15, throughput, coldstart, all. The throughput experiment
+// fig14, join, fig15, throughput, coldstart, update, all. The throughput experiment
 // goes beyond the paper: it sweeps the parallel query engine's worker count
 // (bounded by -workers) and reports queries/sec next to the leaf-access
 // metric. The coldstart experiment measures file-backed query I/O of a
-// freshly opened snapshot under varying buffer-pool sizes.
+// freshly opened snapshot under varying buffer-pool sizes, and the update
+// experiment measures query I/O and clip-maintenance cost under mixed
+// insert/search traffic against a writable file-backed tree (clipped vs.
+// plain), including the pages written back per WAL-committed flush.
 //
 // With -save DIR every built tree is saved as a snapshot into DIR, and with
 // -load DIR previously saved snapshots are reopened instead of rebuilding,
@@ -39,7 +42,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (fig01,fig08,fig09,fig10,fig11,table1,fig12,fig13,fig14,join,fig15,throughput,coldstart,all)")
+		exp      = flag.String("exp", "all", "experiment to run (fig01,fig08,fig09,fig10,fig11,table1,fig12,fig13,fig14,join,fig15,throughput,coldstart,update,all)")
 		scale    = flag.Int("scale", 20000, "objects per dataset")
 		queries  = flag.Int("queries", 200, "queries per selectivity profile")
 		seed     = flag.Int64("seed", 42, "random seed")
@@ -59,7 +62,7 @@ func main() {
 		for _, s := range datasets.Specs {
 			fmt.Printf("  %-6s %dd  default %d objects  (%s)\n", s.Name, s.Dims, s.DefaultSize, s.Description)
 		}
-		fmt.Println("experiments: fig01 fig08 fig09 fig10 fig11 table1 fig12 fig13 fig14 join fig15 throughput coldstart all")
+		fmt.Println("experiments: fig01 fig08 fig09 fig10 fig11 table1 fig12 fig13 fig14 join fig15 throughput coldstart update all")
 		return
 	}
 
@@ -87,7 +90,7 @@ func main() {
 	which := strings.ToLower(strings.TrimSpace(*exp))
 	names := []string{which}
 	if which == "all" {
-		names = []string{"fig01", "fig08", "fig09", "fig10", "fig11", "table1", "fig12", "fig13", "fig14", "join", "fig15", "throughput", "coldstart"}
+		names = []string{"fig01", "fig08", "fig09", "fig10", "fig11", "table1", "fig12", "fig13", "fig14", "join", "fig15", "throughput", "coldstart", "update"}
 	}
 	for _, name := range names {
 		if err := runner.run(name); err != nil {
@@ -184,6 +187,12 @@ func (r *runner) run(name string) error {
 		tables = []*experiments.Table{res.Table()}
 	case "coldstart":
 		res, err := experiments.RunColdStart(r.cfg)
+		if err != nil {
+			return err
+		}
+		tables = []*experiments.Table{res.Table()}
+	case "update":
+		res, err := experiments.RunUpdateWorkload(r.cfg)
 		if err != nil {
 			return err
 		}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -37,14 +38,18 @@ func main() {
 		tau     = flag.Float64("tau", 0.025, "clip-point volume threshold")
 		samples = flag.Int("samples", 256, "Monte-Carlo samples per node")
 		file    = flag.String("file", "", "inspect a snapshot file instead of building an index")
+		verify  = flag.Bool("verify", false, "with -file: walk the free-page list and WAL tail, report orphaned or doubly-referenced pages")
 	)
 	flag.Parse()
 
 	if *file != "" {
-		if err := inspectSnapshot(*file, *samples, *seed); err != nil {
+		if err := inspectSnapshot(*file, *samples, *seed, *verify); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *verify {
+		fatal(fmt.Errorf("-verify requires -file"))
 	}
 
 	v, err := parseVariant(*variant)
@@ -82,8 +87,14 @@ func main() {
 
 // inspectSnapshot loads a snapshot file and runs the same inspection as the
 // build path, so a shipped index file gets the full health check without a
-// rebuild.
-func inspectSnapshot(path string, samples int, seed int64) error {
+// rebuild. With verify it additionally audits the page file itself: every
+// in-use page must be referenced exactly once (superblock, node page, node
+// index, or clip table), the free-page list must be disjoint from the
+// referenced set, and a leftover write-ahead log is decoded and reported.
+func inspectSnapshot(path string, samples int, seed int64, verify bool) error {
+	// The WAL must be looked at before the open below replays (or discards)
+	// it, or the report would always say "none".
+	walState := describeWAL(storage.WALPathFor(path))
 	snap, fp, err := snapshot.OpenFile(path)
 	if err != nil {
 		return err
@@ -104,7 +115,97 @@ func inspectSnapshot(path string, samples int, seed int64) error {
 			return err
 		}
 	}
-	return inspectTree(tree, idx, samples, seed)
+	if err := inspectTree(tree, idx, samples, seed); err != nil {
+		return err
+	}
+	if verify {
+		return verifyFile(snap, fp, walState)
+	}
+	return nil
+}
+
+// describeWAL summarises the state of a write-ahead log file at path.
+func describeWAL(walPath string) string {
+	info, err := storage.ReadWALFile(walPath)
+	switch {
+	case err == nil:
+		return fmt.Sprintf("committed transaction pending replay (%d page records, %d slots)", len(info.Records), info.SlotCount)
+	case os.IsNotExist(err):
+		return "none (clean shutdown)"
+	case errors.Is(err, storage.ErrWALTorn):
+		return "torn (interrupted before commit; discarded on open)"
+	default:
+		return fmt.Sprintf("invalid: %v", err)
+	}
+}
+
+// verifyFile walks the page file's slot directory against the snapshot's
+// page accounting: the superblock, every node page, and the chunked node
+// index and clip table regions. Every in-use page must be referenced exactly
+// once; every referenced page must be in use; everything else must be on the
+// free-page list. Violations are listed and reported as an error.
+func verifyFile(snap *snapshot.Snapshot, fp *storage.FilePager, walState string) error {
+	refs := make(map[storage.PageID]int)
+	refs[snapshot.SuperPage]++
+	for _, pid := range snap.Pages {
+		refs[pid]++
+	}
+	lay := snap.Layout
+	for i := 0; i < lay.IndexPages; i++ {
+		refs[lay.IndexFirst+storage.PageID(i)]++
+	}
+	for i := 0; i < lay.ClipPages; i++ {
+		refs[lay.ClipFirst+storage.PageID(i)]++
+	}
+	slots, err := fp.Slots()
+	if err != nil {
+		return err
+	}
+	var orphaned, doubly, freeRef, missing []storage.PageID
+	freePages := 0
+	for _, s := range slots {
+		n := refs[s.ID]
+		switch {
+		case s.InUse && n == 0:
+			orphaned = append(orphaned, s.ID)
+		case s.InUse && n > 1:
+			doubly = append(doubly, s.ID)
+		case !s.InUse && n > 0:
+			freeRef = append(freeRef, s.ID)
+		}
+		if !s.InUse {
+			freePages++
+		}
+	}
+	for pid, n := range refs {
+		if pid < 1 || int(pid) > len(slots) {
+			missing = append(missing, pid)
+			_ = n
+		}
+	}
+	fmt.Printf("page file  : %d slots, %d in use, %d on the free-page list\n", len(slots), len(slots)-freePages, freePages)
+	fmt.Printf("WAL tail   : %s\n", walState)
+	problems := 0
+	report := func(label string, ids []storage.PageID) {
+		if len(ids) == 0 {
+			return
+		}
+		problems += len(ids)
+		if len(ids) > 8 {
+			fmt.Printf("verify     : %d %s pages (first 8: %v)\n", len(ids), label, ids[:8])
+		} else {
+			fmt.Printf("verify     : %s pages: %v\n", label, ids)
+		}
+	}
+	report("orphaned (in use but unreferenced)", orphaned)
+	report("doubly-referenced", doubly)
+	report("referenced-but-free", freeRef)
+	report("referenced-but-missing", missing)
+	if problems > 0 {
+		return fmt.Errorf("page file verification found %d problem pages", problems)
+	}
+	fmt.Println("verify     : free-page list and page references consistent")
+	return nil
 }
 
 // inspectTree prints structure, dead space, clipping, and storage breakdown

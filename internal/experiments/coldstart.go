@@ -125,7 +125,7 @@ func coldStartRun(path string, batch []geom.Rect, capacity int, clipped bool) (C
 		return ColdStartRow{}, err
 	}
 	defer fp.Close()
-	tree, err := snap.OpenTree(fp)
+	tree, err := snap.OpenTree(fp, true)
 	if err != nil {
 		return ColdStartRow{}, err
 	}

@@ -1,0 +1,55 @@
+package experiments
+
+import "testing"
+
+// TestRunUpdateWorkloadSmall runs the mixed insert/search workload at toy
+// scale and checks its core invariants: identical op counts and query
+// results between the plain and clipped run, clip maintenance happening
+// only in the clipped run, clipping never increasing search I/O, and every
+// flush actually writing pages back.
+func TestRunUpdateWorkloadSmall(t *testing.T) {
+	cfg := Config{Scale: 1500, Queries: 12, Seed: 7, Datasets: []string{"rea02"}}
+	res, err := RunUpdateWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (plain + clipped)", len(res.Rows))
+	}
+	plain, clipped := res.Rows[0], res.Rows[1]
+	if plain.Clipped || !clipped.Clipped {
+		t.Fatalf("row order: %+v / %+v", plain.Clipped, clipped.Clipped)
+	}
+	if plain.Inserts == 0 || plain.Deletes == 0 {
+		t.Fatalf("no mutations ran: %+v", plain)
+	}
+	if plain.Inserts != clipped.Inserts || plain.Deletes != clipped.Deletes {
+		t.Fatalf("op counts differ: %d/%d vs %d/%d", plain.Inserts, plain.Deletes, clipped.Inserts, clipped.Deletes)
+	}
+	if plain.Results != clipped.Results {
+		t.Fatalf("query results differ: %d vs %d (clipping must never change results)", plain.Results, clipped.Results)
+	}
+	if plain.Reclips != 0 || plain.ValidityChecks != 0 {
+		t.Fatalf("plain run performed clip maintenance: %+v", plain)
+	}
+	if clipped.Reclips == 0 {
+		t.Fatal("clipped run never re-clipped under inserts")
+	}
+	if clipped.SearchLeaf > plain.SearchLeaf {
+		t.Fatalf("clipped search read more leaves (%d) than plain (%d)", clipped.SearchLeaf, plain.SearchLeaf)
+	}
+	for _, row := range res.Rows {
+		if row.Flushes != res.Rounds {
+			t.Fatalf("expected %d flushes, got %d", res.Rounds, row.Flushes)
+		}
+		if row.DiskWrites == 0 {
+			t.Fatalf("flushes wrote no pages back: %+v", row)
+		}
+		if row.SearchLeaf == 0 {
+			t.Fatalf("query batches charged no leaf reads: %+v", row)
+		}
+	}
+	if res.Table().String() == "" {
+		t.Fatal("table should render")
+	}
+}

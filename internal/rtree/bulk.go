@@ -20,10 +20,11 @@ type Item struct {
 // HR-tree (its defining construction) and Sort-Tile-Recursive packing for
 // the other variants when bulk loading is explicitly requested. The tree
 // must be empty.
-func (t *Tree) BulkLoad(items []Item) error {
-	if t.src != nil {
-		return ErrReadOnly
+func (t *Tree) BulkLoad(items []Item) (err error) {
+	if err := t.ensureMutable(); err != nil {
+		return err
 	}
+	defer recoverFault(&err)
 	if t.size != 0 || t.root != InvalidNode {
 		return fmt.Errorf("rtree: BulkLoad requires an empty tree")
 	}
@@ -160,7 +161,7 @@ func (t *Tree) buildFromLeaves(leafEntries [][]Entry) {
 		for _, sz := range groupSizes(len(current), t.cfg.MaxEntries) {
 			parent := t.newNode(false, level)
 			for _, childID := range current[pos : pos+sz] {
-				child := t.nodes[childID]
+				child := t.mustNode(childID)
 				child.parent = parent.id
 				parent.entries = append(parent.entries, Entry{Rect: child.mbb(), Child: childID})
 			}
@@ -172,7 +173,7 @@ func (t *Tree) buildFromLeaves(leafEntries [][]Entry) {
 		current = next
 	}
 	t.root = current[0]
-	t.height = t.nodes[t.root].level + 1
+	t.height = t.mustNode(t.root).level + 1
 }
 
 func itemRects(items []Item) []geom.Rect {

@@ -39,42 +39,46 @@ func (tr *DeleteTrace) markMBBChanged(id NodeID) {
 
 // Delete removes the object with the given id and rectangle. Both must match
 // an indexed entry exactly (the usual R-tree contract). It returns a trace
-// and whether the object was found.
-func (t *Tree) Delete(r geom.Rect, obj ObjectID) (*DeleteTrace, error) {
-	if t.src != nil {
-		return nil, ErrReadOnly
+// and whether the object was found. On a writable file-backed tree the
+// mutation happens in the node arena and is written back by the next
+// FlushDirty; a read-only tree returns ErrReadOnly.
+func (t *Tree) Delete(r geom.Rect, obj ObjectID) (trace *DeleteTrace, err error) {
+	if err := t.ensureMutable(); err != nil {
+		return nil, err
 	}
 	if !r.Valid() || r.Dims() != t.cfg.Dims {
 		return nil, fmt.Errorf("rtree: invalid rectangle %v for a %d-dimensional tree", r, t.cfg.Dims)
 	}
-	trace := &DeleteTrace{Leaf: InvalidNode}
+	defer recoverFault(&err)
+	trace = &DeleteTrace{Leaf: InvalidNode}
 	if t.root == InvalidNode {
 		return trace, nil
 	}
-	rootBefore := t.nodes[t.root].mbb()
-	leaf, idx := t.findLeaf(t.nodes[t.root], r, obj)
+	rootBefore := t.mustNode(t.root).mbb()
+	leaf, idx := t.findLeaf(t.mustNode(t.root), r, obj)
 	if leaf == nil {
 		return trace, nil
 	}
 	trace.Found = true
 	trace.Leaf = leaf.id
 	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.touch(leaf)
 	t.size--
 	t.counter.Write(1)
 	t.condense(leaf, trace)
 	// The root has no parent entry, so a shrink of its MBB is not caught by
 	// the condense pass; record it explicitly (the clipped layer must
 	// recompute clip points whenever a node's MBB changes).
-	if t.root != InvalidNode && t.nodes[t.root] != nil {
-		if !t.nodes[t.root].mbb().Equal(rootBefore) {
+	if t.root != InvalidNode {
+		if !t.mustNode(t.root).mbb().Equal(rootBefore) {
 			trace.markMBBChanged(t.root)
 		}
 	}
 
 	// Shrink the tree if the root became a lone directory entry or empty.
-	root := t.nodes[t.root]
+	root := t.mustNode(t.root)
 	for !root.leaf && len(root.entries) == 1 {
-		child := t.nodes[root.entries[0].Child]
+		child := t.mustNode(root.entries[0].Child)
 		child.parent = InvalidNode
 		trace.Removed = append(trace.Removed, root.id)
 		t.freeNode(root.id)
@@ -103,7 +107,7 @@ func (t *Tree) findLeaf(n *node, r geom.Rect, obj ObjectID) (*node, int) {
 	}
 	for i := range n.entries {
 		if n.entries[i].Rect.ContainsRect(r) || n.entries[i].Rect.Intersects(r) {
-			if leaf, idx := t.findLeaf(t.nodes[n.entries[i].Child], r, obj); leaf != nil {
+			if leaf, idx := t.findLeaf(t.mustNode(n.entries[i].Child), r, obj); leaf != nil {
 				return leaf, idx
 			}
 		}
@@ -122,12 +126,13 @@ func (t *Tree) condense(n *node, trace *DeleteTrace) {
 	var orphans []orphan
 	cur := n
 	for cur.id != t.root {
-		parent := t.nodes[cur.parent]
+		parent := t.mustNode(cur.parent)
 		idx := t.childIndex(parent, cur.id)
 		if len(cur.entries) < t.cfg.MinEntries {
 			// Dissolve the node: remove it from the parent and queue its
 			// entries for re-insertion.
 			parent.entries = append(parent.entries[:idx], parent.entries[idx+1:]...)
+			t.touch(parent)
 			for _, e := range cur.entries {
 				orphans = append(orphans, orphan{entry: e, level: cur.level})
 			}
@@ -137,6 +142,7 @@ func (t *Tree) condense(n *node, trace *DeleteTrace) {
 			newMBB := cur.mbb()
 			if !parent.entries[idx].Rect.Equal(newMBB) {
 				parent.entries[idx].Rect = newMBB
+				t.touch(parent)
 				trace.markMBBChanged(cur.id)
 				t.counter.Write(1)
 			}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"cbb/internal/geom"
 	"cbb/internal/storage"
@@ -251,14 +252,20 @@ func maxNodeID(pages map[NodeID]storage.PageID) (NodeID, error) {
 	return maxID, nil
 }
 
-// OpenPaged constructs a read-only, file-backed tree over pages previously
-// written with Save: nodes are decoded from the page store on first access
-// (through the tree's buffer pool and I/O counters, if attached) instead of
-// being materialised up front, so a snapshot of any size opens in constant
-// time. size and height come from the snapshot header because they cannot be
-// known without reading every page. Mutations return ErrReadOnly; concurrent
-// readers are safe, exactly as for an in-memory tree.
-func OpenPaged(cfg Config, store storage.PageStore, pages map[NodeID]storage.PageID, root NodeID, size, height int) (*Tree, error) {
+// OpenPaged constructs a file-backed tree over pages previously written with
+// Save: nodes are decoded from the page store on first access (through the
+// tree's buffer pool and I/O counters, if attached) instead of being
+// materialised up front, so a snapshot of any size opens in constant time.
+// size and height come from the snapshot header because they cannot be known
+// without reading every page. Concurrent readers are safe, exactly as for an
+// in-memory tree.
+//
+// With readonly false the tree accepts Insert, Delete, and BulkLoad: the
+// first mutation hydrates the tree (parent pointers are not stored in the
+// page layout), mutated nodes accumulate in the dirty set, and FlushDirty
+// writes them back to the store. With readonly true mutations return
+// ErrReadOnly.
+func OpenPaged(cfg Config, store storage.PageStore, pages map[NodeID]storage.PageID, root NodeID, size, height int, readonly bool) (*Tree, error) {
 	t, err := New(cfg)
 	if err != nil {
 		return nil, err
@@ -266,11 +273,13 @@ func OpenPaged(cfg Config, store storage.PageStore, pages map[NodeID]storage.Pag
 	if store == nil {
 		return nil, errors.New("rtree: OpenPaged requires a page store")
 	}
-	t.src = &pageSource{store: store, pages: pages}
+	t.src = &pageSource{store: store, pages: pages, readonly: readonly, dirty: make(map[NodeID]struct{})}
 	if root == InvalidNode {
 		if len(pages) != 0 || size != 0 || height != 0 {
 			return nil, errors.New("rtree: snapshot has pages but no root")
 		}
+		// An empty tree has nothing to hydrate; it is born mutable.
+		t.src.hydrated = true
 		return t, nil
 	}
 	if _, ok := pages[root]; !ok {
@@ -288,6 +297,105 @@ func OpenPaged(cfg Config, store storage.PageStore, pages map[NodeID]storage.Pag
 	t.size = size
 	t.height = height
 	return t, nil
+}
+
+// AttachStore binds a freshly built (or still empty) in-memory tree to a
+// page store as its write-back target: the tree becomes file-backed and
+// writable, every current node is considered dirty, and the next FlushDirty
+// writes the whole tree. pages maps nodes that already live on the store
+// (nil when none do, e.g. for a tree created over an empty store).
+func (t *Tree) AttachStore(store storage.PageStore, pages map[NodeID]storage.PageID) error {
+	if store == nil {
+		return errors.New("rtree: AttachStore requires a page store")
+	}
+	if t.src != nil {
+		return errors.New("rtree: tree is already file-backed")
+	}
+	if pages == nil {
+		pages = make(map[NodeID]storage.PageID)
+	}
+	src := &pageSource{store: store, pages: pages, hydrated: true, dirty: make(map[NodeID]struct{})}
+	t.src = src
+	t.Walk(func(info NodeInfo) {
+		if _, ok := pages[info.ID]; !ok {
+			src.dirty[info.ID] = struct{}{}
+		}
+	})
+	return nil
+}
+
+// FlushDirty writes every node mutated since the last flush back to the
+// tree's page store: dirty nodes are re-encoded onto their existing pages,
+// new nodes get pages allocated (reusing the store's free-page list), and
+// pages of dissolved nodes are released. It returns the root's page id, the
+// updated node→page map, and a commit callback.
+//
+// FlushDirty is transactional on the tree side: the dirty set, the freed
+// list, and the live page map are not touched until the caller invokes
+// commit — which it must do only once every dependent write (node index,
+// clip table, superblock) has also succeeded. If anything fails before
+// that, the tree's bookkeeping still describes the pre-flush state, and the
+// page-store side effects are rolled back by discarding the store's journal
+// — so a failed flush can simply be retried. The store itself decides
+// durability: a journaled FilePager makes the whole batch atomic on its
+// next commit.
+func (t *Tree) FlushDirty() (storage.PageID, map[NodeID]storage.PageID, func(), error) {
+	if t.src == nil {
+		return storage.InvalidPage, nil, nil, errors.New("rtree: FlushDirty requires a file-backed tree")
+	}
+	if t.src.readonly {
+		return storage.InvalidPage, nil, nil, ErrReadOnly
+	}
+	src := t.src
+	// Release pages of dissolved nodes first so their slots are available
+	// for reuse by the allocations below.
+	for _, pid := range src.freed {
+		if err := src.store.Free(pid); err != nil {
+			return storage.InvalidPage, nil, nil, fmt.Errorf("rtree: releasing page %d: %w", pid, err)
+		}
+	}
+	ids := make([]NodeID, 0, len(src.dirty))
+	for id := range src.dirty {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// Work on a copy of the page map so a failure leaves src.pages intact.
+	pages := make(map[NodeID]storage.PageID, len(src.pages)+len(ids))
+	for id, pid := range src.pages {
+		pages[id] = pid
+	}
+	for _, id := range ids {
+		n := t.node(id)
+		if n == nil {
+			return storage.InvalidPage, nil, nil, fmt.Errorf("rtree: dirty node %d does not exist", id)
+		}
+		pid, ok := pages[id]
+		if !ok {
+			kind := storage.KindDirectory
+			if n.leaf {
+				kind = storage.KindLeaf
+			}
+			var err error
+			pid, err = src.store.Allocate(kind)
+			if err != nil {
+				return storage.InvalidPage, nil, nil, fmt.Errorf("rtree: allocating page for node %d: %w", id, err)
+			}
+			pages[id] = pid
+		}
+		if err := src.store.Write(pid, encodeNode(n, t.cfg.Dims)); err != nil {
+			return storage.InvalidPage, nil, nil, fmt.Errorf("rtree: writing node %d to page %d: %w", id, pid, err)
+		}
+	}
+	root := storage.InvalidPage
+	if t.root != InvalidNode {
+		root = pages[t.root]
+	}
+	commit := func() {
+		src.pages = pages
+		src.dirty = make(map[NodeID]struct{})
+		src.freed = nil
+	}
+	return root, pages, commit, nil
 }
 
 // Materialize faults every node of a file-backed tree into memory and fixes

@@ -99,15 +99,18 @@ func (tr *InsertTrace) Changed(id NodeID) bool {
 
 // Insert adds an object with the given rectangle to the tree and returns a
 // trace of the structural changes. The rectangle's dimensionality must match
-// the tree's.
-func (t *Tree) Insert(r geom.Rect, obj ObjectID) (*InsertTrace, error) {
-	if t.src != nil {
-		return nil, ErrReadOnly
+// the tree's. On a writable file-backed tree the mutation happens in the
+// node arena and is written back by the next FlushDirty; a read-only tree
+// returns ErrReadOnly.
+func (t *Tree) Insert(r geom.Rect, obj ObjectID) (trace *InsertTrace, err error) {
+	if err := t.ensureMutable(); err != nil {
+		return nil, err
 	}
 	if !r.Valid() || r.Dims() != t.cfg.Dims {
 		return nil, fmt.Errorf("rtree: invalid rectangle %v for a %d-dimensional tree", r, t.cfg.Dims)
 	}
-	trace := &InsertTrace{Leaf: InvalidNode}
+	defer recoverFault(&err)
+	trace = &InsertTrace{Leaf: InvalidNode}
 	if t.root == InvalidNode {
 		root := t.newNode(true, 0)
 		t.root = root.id
@@ -121,11 +124,11 @@ func (t *Tree) Insert(r geom.Rect, obj ObjectID) (*InsertTrace, error) {
 		t.counter.Write(1)
 		return trace, nil
 	}
-	rootBefore := t.nodes[t.root].mbb()
+	rootBefore := t.mustNode(t.root).mbb()
 	overflowDone := make(map[int]bool)
 	t.insertAtLevel(Entry{Rect: r.Clone(), Object: obj, Child: InvalidNode}, 0, trace, overflowDone, true)
 	t.size++
-	if rootAfter := t.nodes[t.root].mbb(); !rootAfter.Equal(rootBefore) {
+	if rootAfter := t.mustNode(t.root).mbb(); !rootAfter.Equal(rootBefore) {
 		trace.markMBBChanged(t.root)
 	}
 	return trace, nil
@@ -137,12 +140,13 @@ func (t *Tree) Insert(r geom.Rect, obj ObjectID) (*InsertTrace, error) {
 // insertion, not for re-insertions).
 func (t *Tree) insertAtLevel(e Entry, level int, trace *InsertTrace, overflowDone map[int]bool, recordLeaf bool) {
 	target := t.chooseSubtree(e.Rect, level)
-	n := t.nodes[target]
+	n := t.mustNode(target)
 	if e.Child != InvalidNode {
-		t.nodes[e.Child].parent = n.id
+		t.mustNode(e.Child).parent = n.id
 	}
 	before := n.mbb()
 	n.entries = append(n.entries, e)
+	t.touch(n)
 	if recordLeaf && n.leaf {
 		trace.Leaf = n.id
 	}
@@ -162,10 +166,10 @@ func (t *Tree) insertAtLevel(e Entry, level int, trace *InsertTrace, overflowDon
 // chooseSubtree descends from the root to a node at the requested level,
 // using the variant-specific selection policy, and returns its id.
 func (t *Tree) chooseSubtree(r geom.Rect, level int) NodeID {
-	cur := t.nodes[t.root]
+	cur := t.mustNode(t.root)
 	for cur.level > level {
 		idx := t.chooseChild(cur, r)
-		cur = t.nodes[cur.entries[idx].Child]
+		cur = t.mustNode(cur.entries[idx].Child)
 	}
 	return cur.id
 }
@@ -267,9 +271,9 @@ func (t *Tree) chooseHilbertChild(n *node, r geom.Rect) int {
 	h := t.curve.IndexRect(r)
 	best := -1
 	for i := range n.entries {
-		child := t.nodes[n.entries[i].Child]
+		child := t.mustNode(n.entries[i].Child)
 		if child.hilbertLHV >= h {
-			if best < 0 || t.nodes[n.entries[best].Child].hilbertLHV > child.hilbertLHV {
+			if best < 0 || t.mustNode(n.entries[best].Child).hilbertLHV > child.hilbertLHV {
 				best = i
 			}
 		}
@@ -280,7 +284,7 @@ func (t *Tree) chooseHilbertChild(n *node, r geom.Rect) int {
 	// All children have smaller LHV: take the one with the largest.
 	best = 0
 	for i := range n.entries {
-		if t.nodes[n.entries[i].Child].hilbertLHV > t.nodes[n.entries[best].Child].hilbertLHV {
+		if t.mustNode(n.entries[i].Child).hilbertLHV > t.mustNode(n.entries[best].Child).hilbertLHV {
 			best = i
 		}
 	}
@@ -328,6 +332,7 @@ func (t *Tree) forcedReinsert(n *node, trace *InsertTrace, overflowDone map[int]
 		kept = append(kept, ds[i].e)
 	}
 	n.entries = kept
+	t.touch(n)
 	trace.markMBBChanged(n.id)
 	t.updateHilbertLHV(n)
 	t.adjustUpward(n, trace)
@@ -346,12 +351,13 @@ func (t *Tree) splitNode(n *node, trace *InsertTrace, overflowDone map[int]bool)
 	sibling := t.newNode(n.leaf, n.level)
 	n.entries = groupA
 	sibling.entries = groupB
+	t.touch(n)
 	if !n.leaf {
 		for i := range sibling.entries {
-			t.nodes[sibling.entries[i].Child].parent = sibling.id
+			t.mustNode(sibling.entries[i].Child).parent = sibling.id
 		}
 		for i := range n.entries {
-			t.nodes[n.entries[i].Child].parent = n.id
+			t.mustNode(n.entries[i].Child).parent = n.id
 		}
 	}
 	t.updateHilbertLHV(n)
@@ -376,12 +382,13 @@ func (t *Tree) splitNode(n *node, trace *InsertTrace, overflowDone map[int]bool)
 		return
 	}
 
-	parent := t.nodes[n.parent]
+	parent := t.mustNode(n.parent)
 	idx := t.childIndex(parent, n.id)
 	before := parent.mbb()
 	parent.entries[idx].Rect = n.mbb()
 	sibling.parent = parent.id
 	parent.entries = append(parent.entries, Entry{Rect: sibling.mbb(), Child: sibling.id})
+	t.touch(parent)
 	t.counter.Write(1)
 	if len(parent.entries) > t.cfg.MaxEntries {
 		t.handleOverflow(parent, trace, overflowDone)
@@ -399,12 +406,13 @@ func (t *Tree) splitNode(n *node, trace *InsertTrace, overflowDone map[int]bool)
 func (t *Tree) adjustUpward(n *node, trace *InsertTrace) {
 	cur := n
 	for cur.parent != InvalidNode {
-		parent := t.nodes[cur.parent]
+		parent := t.mustNode(cur.parent)
 		idx := t.childIndex(parent, cur.id)
 		newMBB := cur.mbb()
 		changed := !parent.entries[idx].Rect.Equal(newMBB)
 		if changed {
 			parent.entries[idx].Rect = newMBB
+			t.touch(parent)
 			trace.markMBBChanged(cur.id)
 			t.counter.Write(1)
 		}
@@ -442,7 +450,7 @@ func (t *Tree) updateHilbertLHV(n *node) {
 		}
 	} else {
 		for i := range n.entries {
-			if h := t.nodes[n.entries[i].Child].hilbertLHV; h > max {
+			if h := t.mustNode(n.entries[i].Child).hilbertLHV; h > max {
 				max = h
 			}
 		}

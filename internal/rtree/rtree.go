@@ -23,10 +23,11 @@ import (
 	"cbb/internal/storage"
 )
 
-// ErrReadOnly is returned by mutating operations on a file-backed tree
-// opened with OpenPaged: such a tree serves queries directly off its page
-// store and cannot be modified in place.
-var ErrReadOnly = errors.New("rtree: tree is file-backed and read-only")
+// ErrReadOnly is returned by mutating operations on a tree that was
+// explicitly opened read-only (OpenPaged with readonly set, e.g. from a
+// snapshot on read-only media). Writable file-backed trees accept mutations
+// and write dirty nodes back through FlushDirty.
+var ErrReadOnly = errors.New("rtree: tree is read-only")
 
 // Variant selects the node-organisation strategy.
 type Variant int
@@ -199,18 +200,27 @@ type Tree struct {
 	pool    *storage.BufferPool // optional, attached via SetBufferPool
 	curve   *hilbert.Curve
 
-	// File-backed (read-only) mode, set up by OpenPaged: nodes are faulted
-	// into the arena on first access from src, under arenaMu. src is nil for
-	// ordinary in-memory trees, whose arena is accessed without locking.
+	// File-backed mode, set up by OpenPaged or AttachStore: nodes are
+	// faulted into the arena on first access from src, under arenaMu, and
+	// mutated nodes are tracked in src.dirty until FlushDirty writes them
+	// back to the page store. src is nil for ordinary in-memory trees, whose
+	// arena is accessed without locking.
 	src      *pageSource
 	arenaMu  sync.RWMutex
 	faultErr error // first page fault failure, sticky; guarded by arenaMu
 }
 
-// pageSource locates the pages of a file-backed tree in its page store.
+// pageSource is the storage binding of a file-backed tree: where each node
+// lives in the page store, which nodes have been mutated since the last
+// flush (the dirty set), and which pages await release because their node
+// was dissolved.
 type pageSource struct {
-	store storage.PageStore
-	pages map[NodeID]storage.PageID
+	store    storage.PageStore
+	pages    map[NodeID]storage.PageID
+	readonly bool
+	hydrated bool // whole tree materialised; parents and LHVs are valid
+	dirty    map[NodeID]struct{}
+	freed    []storage.PageID
 }
 
 // New creates an empty tree. The tree uses its own private I/O counter; use
@@ -308,9 +318,23 @@ func (t *Tree) ChargeRead(id NodeID, leaf bool, c *storage.Counter) {
 // RootID returns the id of the root node, or InvalidNode for an empty tree.
 func (t *Tree) RootID() NodeID { return t.root }
 
-// ReadOnly reports whether the tree is file-backed (opened with OpenPaged)
-// and therefore rejects mutations with ErrReadOnly.
-func (t *Tree) ReadOnly() bool { return t.src != nil }
+// ReadOnly reports whether the tree rejects mutations with ErrReadOnly: it
+// was opened read-only, or its page store cannot be written.
+func (t *Tree) ReadOnly() bool { return t.src != nil && t.src.readonly }
+
+// FileBacked reports whether the tree is bound to a page store (opened with
+// OpenPaged or attached with AttachStore).
+func (t *Tree) FileBacked() bool { return t.src != nil }
+
+// Dirty reports whether a file-backed tree has node mutations that
+// FlushDirty has not yet written back to the page store. In-memory trees
+// are never dirty.
+func (t *Tree) Dirty() bool {
+	if t.src == nil {
+		return false
+	}
+	return len(t.src.dirty) > 0 || len(t.src.freed) > 0
+}
 
 // Err returns the first page-fault failure of a file-backed tree (a page
 // that could not be read or decoded on demand), or nil. Queries treat a
@@ -341,22 +365,117 @@ func (t *Tree) Bounds() geom.Rect {
 
 func (t *Tree) newNode(leaf bool, level int) *node {
 	var id NodeID
+	var nd *node
 	if n := len(t.free); n > 0 {
 		id = t.free[n-1]
 		t.free = t.free[:n-1]
-		nd := t.nodes[id]
+		nd = t.nodes[id]
 		*nd = node{id: id, parent: InvalidNode, leaf: leaf, level: level}
-		return nd
+	} else {
+		id = NodeID(len(t.nodes))
+		nd = &node{id: id, parent: InvalidNode, leaf: leaf, level: level}
+		t.nodes = append(t.nodes, nd)
 	}
-	id = NodeID(len(t.nodes))
-	nd := &node{id: id, parent: InvalidNode, leaf: leaf, level: level}
-	t.nodes = append(t.nodes, nd)
+	t.touch(nd)
 	return nd
 }
 
 func (t *Tree) freeNode(id NodeID) {
 	t.nodes[id].entries = nil
 	t.free = append(t.free, id)
+	if t.src != nil {
+		// The node's page (if it has one) is released on the next flush; a
+		// later newNode reusing this arena id allocates a fresh page with
+		// the right kind.
+		delete(t.src.dirty, id)
+		if pid, ok := t.src.pages[id]; ok {
+			t.src.freed = append(t.src.freed, pid)
+			delete(t.src.pages, id)
+		}
+	}
+}
+
+// touch records that a node's persistent state (entries, leaf flag, level)
+// changed, so the next FlushDirty writes it back. It is a no-op for
+// in-memory trees, making it safe to call from every mutation site — the
+// single node-access layer shared by both modes.
+func (t *Tree) touch(n *node) {
+	if t.src != nil {
+		t.src.dirty[n.id] = struct{}{}
+	}
+}
+
+// faultFailure carries a node-access failure out of the deep mutation
+// recursion; Insert, Delete, and BulkLoad recover it into an error.
+type faultFailure struct{ err error }
+
+// mustNode is the node accessor of the mutation paths: unlike node (which
+// lets queries degrade gracefully), a missing or unreadable node aborts the
+// mutation via a recoverable panic. After ensureMutable has hydrated a
+// file-backed tree this can only trip on genuine corruption.
+func (t *Tree) mustNode(id NodeID) *node {
+	n := t.node(id)
+	if n == nil {
+		err := t.Err()
+		if err == nil {
+			err = fmt.Errorf("rtree: node %d does not exist", id)
+		}
+		panic(faultFailure{err})
+	}
+	return n
+}
+
+// recoverFault converts a faultFailure panic into *errp; other panics
+// propagate.
+func recoverFault(errp *error) {
+	if r := recover(); r != nil {
+		ff, ok := r.(faultFailure)
+		if !ok {
+			panic(r)
+		}
+		*errp = ff.err
+	}
+}
+
+// ensureMutable gates every mutation. In-memory trees are always mutable.
+// A read-only file-backed tree fails with ErrReadOnly. A writable
+// file-backed tree is hydrated on its first mutation: every node is faulted
+// in and parent pointers (and Hilbert LHVs) — which the page layout does not
+// store — are reconstructed, after which the mutation algorithms run exactly
+// as in memory and mark what they change in the dirty set.
+func (t *Tree) ensureMutable() error {
+	if t.src == nil {
+		return nil
+	}
+	if t.src.readonly {
+		return ErrReadOnly
+	}
+	if t.src.hydrated {
+		return nil
+	}
+	if err := t.Materialize(); err != nil {
+		return fmt.Errorf("rtree: hydrating file-backed tree for mutation: %w", err)
+	}
+	if t.cfg.Variant == Hilbert {
+		t.recomputeHilbertLHVs()
+	}
+	t.src.hydrated = true
+	return nil
+}
+
+// recomputeHilbertLHVs rebuilds every node's cached largest-Hilbert-value
+// bottom-up (levels ascending), as Load does after decoding pages.
+func (t *Tree) recomputeHilbertLHVs() {
+	if t.curve == nil {
+		return
+	}
+	for level := 0; level < t.height; level++ {
+		for _, n := range t.nodes {
+			if n != nil && n.level == level {
+				t.updateHilbertLHV(n)
+			}
+		}
+	}
 }
 
 // node returns the node with the given id. For an ordinary in-memory tree

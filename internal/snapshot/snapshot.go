@@ -145,6 +145,18 @@ func PageSizeFor(maxEntries, dims int) int {
 	return pages * storage.DefaultPageSize
 }
 
+// Layout locates the snapshot's page regions inside the page file; it is
+// exposed so integrity checkers (cbbinspect -verify) can account for every
+// page the snapshot claims to own.
+type Layout struct {
+	RootPage   storage.PageID
+	IndexFirst storage.PageID
+	IndexPages int
+	ClipFirst  storage.PageID
+	ClipPages  int
+	ClipBytes  int
+}
+
 // Snapshot is a decoded snapshot: its header, the location of every node
 // page, and the clip table. The node pages themselves stay in the page store
 // until LoadTree or OpenTree asks for them.
@@ -153,6 +165,7 @@ type Snapshot struct {
 	RootPage storage.PageID
 	Pages    map[rtree.NodeID]storage.PageID
 	Table    clipindex.Table
+	Layout   Layout
 }
 
 // LoadTree fully materialises the snapshot's tree from the page store into
@@ -174,10 +187,12 @@ func (s *Snapshot) LoadTree(store storage.PageStore) (*rtree.Tree, error) {
 	return t, nil
 }
 
-// OpenTree returns a read-only tree that faults node pages in from the store
-// on demand, so queries run directly against the backing file.
-func (s *Snapshot) OpenTree(store storage.PageStore) (*rtree.Tree, error) {
-	return rtree.OpenPaged(s.Meta.Config(), store, s.Pages, s.Meta.Root, s.Meta.Objects, s.Meta.Height)
+// OpenTree returns a tree that faults node pages in from the store on
+// demand, so queries run directly against the backing file. With readonly
+// false the tree is writable: mutations accumulate in its dirty set and
+// Rewrite commits them back into the snapshot in place.
+func (s *Snapshot) OpenTree(store storage.PageStore, readonly bool) (*rtree.Tree, error) {
+	return rtree.OpenPaged(s.Meta.Config(), store, s.Pages, s.Meta.Root, s.Meta.Objects, s.Meta.Height, readonly)
 }
 
 // Write serialises the tree and its clip table into a freshly created page
@@ -185,27 +200,9 @@ func (s *Snapshot) OpenTree(store storage.PageStore) (*rtree.Tree, error) {
 // and the clip table (Figure 4b). meta's configuration fields must describe
 // the tree; its structural fields are filled in here.
 func Write(store storage.PageStore, tree *rtree.Tree, table clipindex.Table, meta Meta) error {
-	if tree == nil {
-		return errors.New("snapshot: tree must not be nil")
-	}
-	// The header must describe this tree exactly: any divergence would
-	// checksum fine yet reopen as a differently configured index.
-	cfg := tree.Config()
-	if meta.Dims != cfg.Dims || meta.Variant != cfg.Variant ||
-		meta.MaxEntries != cfg.MaxEntries || meta.MinEntries != cfg.MinEntries ||
-		meta.HilbertBits != cfg.HilbertBits || !meta.Universe.Equal(cfg.Universe) {
-		return fmt.Errorf("snapshot: header (%dd %v M=%d m=%d bits=%d) does not describe the tree (%dd %v M=%d m=%d bits=%d)",
-			meta.Dims, meta.Variant, meta.MaxEntries, meta.MinEntries, meta.HilbertBits,
-			cfg.Dims, cfg.Variant, cfg.MaxEntries, cfg.MinEntries, cfg.HilbertBits)
-	}
-	if meta.PageSize == 0 {
-		meta.PageSize = PageSizeFor(meta.MaxEntries, meta.Dims)
-	}
-	if store.PageSize() != meta.PageSize {
-		return fmt.Errorf("snapshot: page store has page size %d, header says %d", store.PageSize(), meta.PageSize)
-	}
-	if meta.ClipMethod == ClipNone && len(table) > 0 {
-		return errors.New("snapshot: clip table present but clip method is none")
+	meta, err := checkMeta(store, tree, table, meta)
+	if err != nil {
+		return err
 	}
 	meta.Objects = tree.Len()
 	meta.Height = tree.Height()
@@ -254,6 +251,106 @@ func Write(store storage.PageStore, tree *rtree.Tree, table clipindex.Table, met
 	return store.Write(super, encodeSuper(meta, layout))
 }
 
+// checkMeta validates that a snapshot header describes the tree and the
+// store, filling in the page size; any divergence would checksum fine yet
+// reopen as a differently configured index.
+func checkMeta(store storage.PageStore, tree *rtree.Tree, table clipindex.Table, meta Meta) (Meta, error) {
+	if tree == nil {
+		return meta, errors.New("snapshot: tree must not be nil")
+	}
+	cfg := tree.Config()
+	if meta.Dims != cfg.Dims || meta.Variant != cfg.Variant ||
+		meta.MaxEntries != cfg.MaxEntries || meta.MinEntries != cfg.MinEntries ||
+		meta.HilbertBits != cfg.HilbertBits || !meta.Universe.Equal(cfg.Universe) {
+		return meta, fmt.Errorf("snapshot: header (%dd %v M=%d m=%d bits=%d) does not describe the tree (%dd %v M=%d m=%d bits=%d)",
+			meta.Dims, meta.Variant, meta.MaxEntries, meta.MinEntries, meta.HilbertBits,
+			cfg.Dims, cfg.Variant, cfg.MaxEntries, cfg.MinEntries, cfg.HilbertBits)
+	}
+	if meta.PageSize == 0 {
+		meta.PageSize = PageSizeFor(meta.MaxEntries, meta.Dims)
+	}
+	if store.PageSize() != meta.PageSize {
+		return meta, fmt.Errorf("snapshot: page store has page size %d, header says %d", store.PageSize(), meta.PageSize)
+	}
+	if meta.ClipMethod == ClipNone && len(table) > 0 {
+		return meta, errors.New("snapshot: clip table present but clip method is none")
+	}
+	return meta, nil
+}
+
+// Rewrite commits the current state of a writable file-backed tree back into
+// its snapshot in place — the incremental counterpart of Write. Dirty node
+// pages are written back through the tree's FlushDirty (new nodes get pages,
+// pages of dissolved nodes return to the free list), the node index and the
+// Figure 4b clip table are re-written in freshly allocated aux pages (their
+// previous pages freed first, so the space is reused), and the superblock is
+// rewritten last. Rewrite itself does not force durability: on a journaled
+// FilePager the caller's CommitJournal makes the whole batch atomic, which
+// is how Flush gives crash consistency.
+func Rewrite(store storage.PageStore, tree *rtree.Tree, table clipindex.Table, meta Meta) error {
+	meta, err := checkMeta(store, tree, table, meta)
+	if err != nil {
+		return err
+	}
+	// The old layout locates the aux regions this rewrite replaces.
+	buf, _, err := store.Read(SuperPage)
+	if err != nil {
+		return fmt.Errorf("snapshot: reading superblock: %w", err)
+	}
+	_, oldLay, err := decodeSuper(buf, store.PageSize())
+	if err != nil {
+		return err
+	}
+	for i := 0; i < oldLay.indexPages; i++ {
+		if err := store.Free(oldLay.indexFirst + storage.PageID(i)); err != nil {
+			return fmt.Errorf("snapshot: freeing node-index page: %w", err)
+		}
+	}
+	for i := 0; i < oldLay.clipPages; i++ {
+		if err := store.Free(oldLay.clipFirst + storage.PageID(i)); err != nil {
+			return fmt.Errorf("snapshot: freeing clip-table page: %w", err)
+		}
+	}
+
+	meta.Objects = tree.Len()
+	meta.Height = tree.Height()
+	meta.Root = tree.RootID()
+	rootPage, pages, commit, err := tree.FlushDirty()
+	if err != nil {
+		return err
+	}
+
+	indexFirst, indexPages, err := writeChunked(store, encodeIndex(pages))
+	if err != nil {
+		return fmt.Errorf("snapshot: writing node index: %w", err)
+	}
+	var clipBuf []byte
+	if len(table) > 0 {
+		clipBuf = clipindex.EncodeTable(table, meta.Dims)
+	}
+	clipFirst, clipPages, err := writeChunked(store, clipBuf)
+	if err != nil {
+		return fmt.Errorf("snapshot: writing clip table: %w", err)
+	}
+	lay := layout{
+		rootPage:   rootPage,
+		nodeCount:  len(pages),
+		indexFirst: indexFirst,
+		indexPages: indexPages,
+		clipFirst:  clipFirst,
+		clipPages:  clipPages,
+		clipBytes:  len(clipBuf),
+	}
+	if err := store.Write(SuperPage, encodeSuper(meta, lay)); err != nil {
+		return err
+	}
+	// Every page of the rewrite is staged; only now may the tree retire its
+	// dirty-set bookkeeping. A failure anywhere above leaves the tree still
+	// dirty, so discarding the store's journal and retrying is safe.
+	commit()
+	return nil
+}
+
 // Read decodes a snapshot's superblock, node index, and clip table from a
 // page store, validating magic, version, checksums, and plausibility limits.
 // Node pages are left on the store for LoadTree / OpenTree.
@@ -297,7 +394,17 @@ func Read(store storage.PageStore) (*Snapshot, error) {
 		}
 		table = tbl
 	}
-	return &Snapshot{Meta: meta, RootPage: rootPage, Pages: pages, Table: table}, nil
+	return &Snapshot{
+		Meta: meta, RootPage: rootPage, Pages: pages, Table: table,
+		Layout: Layout{
+			RootPage:   lay.rootPage,
+			IndexFirst: lay.indexFirst,
+			IndexPages: lay.indexPages,
+			ClipFirst:  lay.clipFirst,
+			ClipPages:  lay.clipPages,
+			ClipBytes:  lay.clipBytes,
+		},
+	}, nil
 }
 
 // --- streaming and file conveniences ----------------------------------------
@@ -397,10 +504,39 @@ func OpenFile(path string) (*Snapshot, *storage.FilePager, error) {
 
 // --- chunked aux-page regions ------------------------------------------------
 
+// runAllocator is the optional page-store capability of allocating n
+// consecutively numbered pages; both storage.Pager and storage.FilePager
+// provide it. The chunked aux regions (node index, clip table) are located
+// by (first page, page count) in the superblock, so their pages must be
+// contiguous even when the store's free list holds scattered pages.
+type runAllocator interface {
+	AllocateRun(kind storage.PageKind, n int) (storage.PageID, error)
+}
+
 // writeChunked spreads buf over consecutively allocated aux pages and
 // returns the first page id and the page count (0, 0 for an empty buffer).
 func writeChunked(store storage.PageStore, buf []byte) (first storage.PageID, pages int, err error) {
 	pageSize := store.PageSize()
+	if len(buf) == 0 {
+		return 0, 0, nil
+	}
+	want := (len(buf) + pageSize - 1) / pageSize
+	if ra, ok := store.(runAllocator); ok {
+		first, err = ra.AllocateRun(storage.KindAux, want)
+		if err != nil {
+			return 0, 0, err
+		}
+		for i := 0; i < want; i++ {
+			end := (i + 1) * pageSize
+			if end > len(buf) {
+				end = len(buf)
+			}
+			if err := store.Write(first+storage.PageID(i), buf[i*pageSize:end]); err != nil {
+				return 0, 0, err
+			}
+		}
+		return first, want, nil
+	}
 	for off := 0; off < len(buf); off += pageSize {
 		end := off + pageSize
 		if end > len(buf) {

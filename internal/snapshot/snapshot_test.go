@@ -95,7 +95,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	lazy, err := snap.OpenTree(store)
+	lazy, err := snap.OpenTree(store, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestEmptyAndStreamRoundTrip(t *testing.T) {
 	if loaded.Len() != 0 || loaded.Height() != 0 {
 		t.Fatal("loaded empty tree not empty")
 	}
-	lazy, err := snap.OpenTree(store)
+	lazy, err := snap.OpenTree(store, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestFileRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer fp.Close()
-	lazy, err := snap.OpenTree(fp)
+	lazy, err := snap.OpenTree(fp, true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -135,19 +136,43 @@ func decodeSlotHeader(buf []byte, pageSize int) (slotMeta, uint32, error) {
 // Free, Usage); the pure read path never does. Files that cannot be opened
 // for writing are opened read-only — reads work as usual, mutations return
 // ErrReadOnlyFS, and Close leaves the file bytes and mtime untouched.
+//
+// A pager can additionally be put in journal mode (EnableJournal): page
+// mutations are then staged in an in-memory overlay — the dirty-page set —
+// and hit the file only on CommitJournal, which funnels the whole batch
+// through a write-ahead log so the commit is atomic: after a crash at any
+// point, reopening the file yields either the state before the commit or the
+// state after it, never a mix. Opening a page file replays a committed WAL
+// left behind by a crash and discards a torn one.
 type FilePager struct {
-	mu        sync.Mutex
-	f         *os.File
-	path      string
-	pageSize  int
-	readonly  bool
-	dirty     bool       // header must be rewritten on Sync/Close
-	slotCount int        // number of slots in the file
-	dir       []slotMeta // lazy slot directory; nil until ensureDirLocked
-	free      []PageID   // valid only once dir is built
-	closed    bool
-	reads     int64 // atomic: pages read from disk
-	writes    int64 // atomic: pages written to disk
+	mu             sync.Mutex
+	f              *os.File
+	path           string
+	pageSize       int
+	readonly       bool
+	dirty          bool       // header must be rewritten on Sync/Close
+	slotCount      int        // number of slots, including staged appends
+	committedSlots int        // number of slots physically in the file
+	dir            []slotMeta // lazy slot directory; nil until ensureDirLocked
+	free           []PageID   // valid only once dir is built
+	journal        bool       // mutations are staged until CommitJournal
+	overlay        map[PageID]*overlayPage
+	closed         bool
+	reads          int64 // atomic: pages read from disk
+	writes         int64 // atomic: pages written to disk
+
+	// Commit fail-points for crash-injection tests: called after the WAL is
+	// durable (but before any page is applied) and before applying record i.
+	failAfterWAL func() error
+	failApply    func(i int) error
+}
+
+// overlayPage is one staged (dirty) page of a journaled pager: the image the
+// next commit will write, or a tombstone (inUse false) for a freed page.
+type overlayPage struct {
+	kind  PageKind
+	inUse bool
+	data  []byte
 }
 
 var (
@@ -156,7 +181,8 @@ var (
 )
 
 // CreateFilePager creates (or truncates) a page file at path with the given
-// page size (DefaultPageSize when pageSize <= 0).
+// page size (DefaultPageSize when pageSize <= 0). Any write-ahead log left
+// next to the path by a previous incarnation of the file is discarded.
 func CreateFilePager(path string, pageSize int) (*FilePager, error) {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
@@ -166,6 +192,12 @@ func CreateFilePager(path string, pageSize int) (*FilePager, error) {
 	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
+		return nil, err
+	}
+	// A stale committed WAL from the file this one replaces must never be
+	// replayed onto the fresh file.
+	if err := removeWAL(WALPathFor(path)); err != nil {
+		f.Close()
 		return nil, err
 	}
 	p := &FilePager{f: f, path: path, pageSize: pageSize, dir: []slotMeta{}, dirty: true}
@@ -179,8 +211,15 @@ func CreateFilePager(path string, pageSize int) (*FilePager, error) {
 // OpenFilePager opens an existing page file, validating its header. The
 // file is opened read-write when possible, falling back to read-only (e.g.
 // for a snapshot shipped with mode 0444 or on a read-only mount); in that
-// case mutations return ErrReadOnlyFS. Opening costs O(1): slot metadata is
-// read on demand, never scanned up front.
+// case mutations return ErrReadOnlyFS. Opening costs O(1) in the file size:
+// slot metadata is read on demand, never scanned up front.
+//
+// If a write-ahead log with a committed transaction sits next to the file —
+// the trace of a commit interrupted after its atomicity point — the log is
+// replayed: onto the file when it is writable, or into an in-memory overlay
+// when it is not, so readers always observe the committed state. A torn log
+// (crash before the commit point) is discarded; the file is already
+// consistent at the pre-commit state.
 func OpenFilePager(path string) (*FilePager, error) {
 	readonly := false
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
@@ -193,6 +232,10 @@ func OpenFilePager(path string) (*FilePager, error) {
 	}
 	p, err := loadFilePager(f, path, readonly)
 	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := p.recoverWAL(); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -217,10 +260,52 @@ func loadFilePager(f *os.File, path string, readonly bool) (*FilePager, error) {
 	if body < 0 || body%slotSize != 0 {
 		return nil, fmt.Errorf("%w: file size %d does not match page size %d", ErrCorrupt, st.Size(), pageSize)
 	}
+	slots := int(body / slotSize)
 	return &FilePager{
 		f: f, path: path, pageSize: pageSize,
-		readonly: readonly, slotCount: int(body / slotSize),
+		readonly: readonly, slotCount: slots, committedSlots: slots,
 	}, nil
+}
+
+// recoverWAL inspects the pager's write-ahead log, if any, right after open.
+// A committed log is replayed (to the file, or into the overlay on read-only
+// media); a torn or foreign log is discarded on writable media and ignored
+// otherwise.
+func (p *FilePager) recoverWAL() error {
+	walPath := WALPathFor(p.path)
+	info, err := ReadWALFile(walPath)
+	switch {
+	case err == nil && info.PageSize == p.pageSize:
+		if p.readonly {
+			// Replay into the overlay: reads see the committed state, the
+			// medium stays untouched, and the WAL remains for a future
+			// writable open to apply.
+			p.overlay = make(map[PageID]*overlayPage, len(info.Records))
+			for _, r := range info.Records {
+				p.overlay[r.Page] = &overlayPage{kind: r.Kind, inUse: r.InUse, data: r.Payload}
+			}
+			if info.SlotCount > p.slotCount {
+				p.slotCount = info.SlotCount
+			}
+			return nil
+		}
+		if err := p.applyRecordsLocked(info.Records, info.SlotCount); err != nil {
+			return fmt.Errorf("storage: replaying WAL %s: %w", walPath, err)
+		}
+		return removeWAL(walPath)
+	case err == nil:
+		// A WAL for a different page size cannot belong to this file.
+		fallthrough
+	case errors.Is(err, ErrWALTorn), errors.Is(err, ErrCorrupt):
+		if p.readonly {
+			return nil
+		}
+		return removeWAL(walPath)
+	case os.IsNotExist(err):
+		return nil
+	default:
+		return err
+	}
 }
 
 // ensureDirLocked builds the slot directory and free list by scanning the
@@ -236,15 +321,29 @@ func (p *FilePager) ensureDirLocked() error {
 	buf := make([]byte, slotHeaderBytes)
 	slotSize := int64(slotHeaderBytes + p.pageSize)
 	for i := 0; i < p.slotCount; i++ {
-		if _, err := p.f.ReadAt(buf, fileHeaderBytes+int64(i)*slotSize); err != nil {
-			return fmt.Errorf("%w: reading slot %d header: %v", ErrCorrupt, i, err)
+		// Slots beyond the physically committed region exist only in the
+		// overlay (a read-only pager whose WAL extended the file); their
+		// on-disk meta is all-zero.
+		if i < p.committedSlots {
+			if _, err := p.f.ReadAt(buf, fileHeaderBytes+int64(i)*slotSize); err != nil {
+				return fmt.Errorf("%w: reading slot %d header: %v", ErrCorrupt, i, err)
+			}
+			m, _, err := decodeSlotHeader(buf, p.pageSize)
+			if err != nil {
+				return fmt.Errorf("slot %d: %w", i, err)
+			}
+			dir[i] = m
+		} else {
+			dir[i] = slotMeta{}
 		}
-		m, _, err := decodeSlotHeader(buf, p.pageSize)
-		if err != nil {
-			return fmt.Errorf("slot %d: %w", i, err)
+		if ov, ok := p.overlay[PageID(i+1)]; ok {
+			if ov.inUse {
+				dir[i] = slotMeta{kind: ov.kind, inUse: true, length: len(ov.data)}
+			} else {
+				dir[i] = slotMeta{}
+			}
 		}
-		dir[i] = m
-		if !m.inUse {
+		if !dir[i].inUse {
 			free = append(free, PageID(i+1))
 		}
 	}
@@ -289,25 +388,114 @@ func (p *FilePager) Allocate(kind PageKind) (PageID, error) {
 		id = p.free[n-1]
 		p.free = p.free[:n-1]
 	} else {
-		id = PageID(len(p.dir) + 1)
-		p.dir = append(p.dir, slotMeta{})
-		p.slotCount = len(p.dir)
+		id = p.appendSlotLocked()
 		appended = true
 	}
+	if err := p.claimSlotLocked(id, kind, appended); err != nil {
+		return InvalidPage, err
+	}
+	return id, nil
+}
+
+// AllocateRun reserves n consecutively numbered pages of the given kind and
+// returns the first id. It prefers a contiguous run from the free list and
+// falls back to appending fresh slots at the end of the file, so callers
+// that store a region as (first page, page count) — the snapshot's node
+// index and clip table — keep working after pages have been freed and
+// reused in arbitrary order.
+func (p *FilePager) AllocateRun(kind PageKind, n int) (PageID, error) {
+	if n <= 0 {
+		return InvalidPage, fmt.Errorf("storage: AllocateRun of %d pages", n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return InvalidPage, ErrPagerClosed
+	}
+	if p.readonly {
+		return InvalidPage, ErrReadOnlyFS
+	}
+	if err := p.ensureDirLocked(); err != nil {
+		return InvalidPage, err
+	}
+	if first, ok := p.takeFreeRunLocked(n); ok {
+		for i := 0; i < n; i++ {
+			if err := p.claimSlotLocked(first+PageID(i), kind, false); err != nil {
+				return InvalidPage, err
+			}
+		}
+		return first, nil
+	}
+	first := PageID(len(p.dir) + 1)
+	for i := 0; i < n; i++ {
+		id := p.appendSlotLocked()
+		if err := p.claimSlotLocked(id, kind, true); err != nil {
+			return InvalidPage, err
+		}
+	}
+	return first, nil
+}
+
+// takeFreeRunLocked removes a run of n consecutive page ids from the free
+// list if one exists, returning its first id.
+func (p *FilePager) takeFreeRunLocked(n int) (PageID, bool) {
+	if len(p.free) < n {
+		return InvalidPage, false
+	}
+	sorted := append([]PageID(nil), p.free...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	run := 1
+	for i := 0; i < len(sorted); i++ {
+		if i > 0 && sorted[i] == sorted[i-1]+1 {
+			run++
+		} else {
+			run = 1
+		}
+		if run < n {
+			continue
+		}
+		first := sorted[i] - PageID(n-1)
+		kept := p.free[:0]
+		for _, id := range p.free {
+			if id < first || id >= first+PageID(n) {
+				kept = append(kept, id)
+			}
+		}
+		p.free = kept
+		return first, true
+	}
+	return InvalidPage, false
+}
+
+// appendSlotLocked grows the slot directory by one and returns the new id.
+func (p *FilePager) appendSlotLocked() PageID {
+	p.dir = append(p.dir, slotMeta{})
+	p.slotCount = len(p.dir)
+	return PageID(len(p.dir))
+}
+
+// claimSlotLocked marks a slot in use with the given kind: staged in the
+// overlay in journal mode, written straight to the file otherwise.
+func (p *FilePager) claimSlotLocked(id PageID, kind PageKind, appended bool) error {
 	p.dir[id-1] = slotMeta{kind: kind, inUse: true}
+	p.dirty = true
+	if p.journal {
+		p.overlay[id] = &overlayPage{kind: kind, inUse: true}
+		return nil
+	}
 	// Only the 16-byte slot header is written here; the payload region is
 	// materialised by extending the file (zeros), so the Allocate+Write
 	// pattern of the snapshot writer pays one full-page write, not two.
 	if _, err := p.f.WriteAt(encodeSlotHeader(kind, true, nil), p.slotOffset(id)); err != nil {
-		return InvalidPage, fmt.Errorf("storage: allocating page %d: %w", id, err)
+		return fmt.Errorf("storage: allocating page %d: %w", id, err)
 	}
 	if appended {
 		if err := p.f.Truncate(p.slotOffset(id) + int64(slotHeaderBytes+p.pageSize)); err != nil {
-			return InvalidPage, fmt.Errorf("storage: extending file for page %d: %w", id, err)
+			return fmt.Errorf("storage: extending file for page %d: %w", id, err)
 		}
+		p.committedSlots = p.slotCount
 	}
-	p.dirty = true
-	return id, nil
+	return nil
 }
 
 // writeSlotLocked writes a slot header and payload; p.mu must be held.
@@ -342,7 +530,9 @@ func (p *FilePager) Write(id PageID, payload []byte) error {
 		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
 	}
 	kind := p.dir[id-1].kind
-	if err := p.writeSlotLocked(id, kind, payload); err != nil {
+	if p.journal {
+		p.overlay[id] = &overlayPage{kind: kind, inUse: true, data: append([]byte(nil), payload...)}
+	} else if err := p.writeSlotLocked(id, kind, payload); err != nil {
 		return err
 	}
 	p.dir[id-1].length = len(payload)
@@ -361,6 +551,18 @@ func (p *FilePager) Read(id PageID) ([]byte, PageKind, error) {
 		return nil, 0, ErrPagerClosed
 	}
 	count := p.slotCount
+	if ov, ok := p.overlay[id]; ok {
+		// The page is staged (journal mode) or recovered from a committed WAL
+		// on read-only media: the overlay image is the current truth.
+		if !ov.inUse {
+			p.mu.Unlock()
+			return nil, 0, fmt.Errorf("%w: %d", ErrPageNotFound, id)
+		}
+		out := append([]byte(nil), ov.data...)
+		kind := ov.kind
+		p.mu.Unlock()
+		return out, kind, nil
+	}
 	p.mu.Unlock()
 	if id < 1 || int(id) > count {
 		return nil, 0, fmt.Errorf("%w: %d", ErrPageNotFound, id)
@@ -401,9 +603,13 @@ func (p *FilePager) Free(id PageID) error {
 	if id < 1 || int(id) > len(p.dir) || !p.dir[id-1].inUse {
 		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
 	}
-	hdr := encodeSlotHeader(p.dir[id-1].kind, false, nil)
-	if _, err := p.f.WriteAt(hdr, p.slotOffset(id)); err != nil {
-		return fmt.Errorf("storage: freeing page %d: %w", id, err)
+	if p.journal {
+		p.overlay[id] = &overlayPage{kind: p.dir[id-1].kind, inUse: false}
+	} else {
+		hdr := encodeSlotHeader(p.dir[id-1].kind, false, nil)
+		if _, err := p.f.WriteAt(hdr, p.slotOffset(id)); err != nil {
+			return fmt.Errorf("storage: freeing page %d: %w", id, err)
+		}
 	}
 	p.dir[id-1] = slotMeta{}
 	p.free = append(p.free, id)
@@ -449,6 +655,11 @@ func (p *FilePager) syncLocked() error {
 	if p.readonly {
 		return nil
 	}
+	if p.journal {
+		// Staged pages become durable only through CommitJournal; the file
+		// header on disk keeps describing the committed region.
+		return p.f.Sync()
+	}
 	if p.dirty {
 		if _, err := p.f.WriteAt(encodeFileHeader(p.pageSize, uint64(p.slotCount)), 0); err != nil {
 			return err
@@ -458,9 +669,168 @@ func (p *FilePager) syncLocked() error {
 	return p.f.Sync()
 }
 
+// EnableJournal switches the pager into journal mode: every Allocate, Write,
+// and Free from now on is staged in an in-memory overlay (the dirty-page
+// set) and reaches the file only through CommitJournal, which makes the
+// whole batch atomic via the write-ahead log. Reads see staged state
+// immediately. EnableJournal fails on a read-only pager; enabling an already
+// journaled pager is a no-op.
+func (p *FilePager) EnableJournal() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPagerClosed
+	}
+	if p.readonly {
+		return ErrReadOnlyFS
+	}
+	if p.journal {
+		return nil
+	}
+	if err := p.ensureDirLocked(); err != nil {
+		return err
+	}
+	p.journal = true
+	p.overlay = make(map[PageID]*overlayPage)
+	return nil
+}
+
+// Journaled reports whether the pager stages mutations for atomic commit.
+func (p *FilePager) Journaled() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.journal
+}
+
+// DirtyPages returns the number of staged (uncommitted) pages.
+func (p *FilePager) DirtyPages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.overlay)
+}
+
+// CommitJournal atomically applies every staged page mutation to the file:
+// the page images are written to the write-ahead log and fsynced first, then
+// applied to the page file and fsynced, then the log is removed. If the
+// process dies at any point, the next OpenFilePager either replays the
+// committed log or discards a torn one — the file is never left half
+// written. On a pager with nothing staged it degenerates to Sync.
+func (p *FilePager) CommitJournal() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPagerClosed
+	}
+	if !p.journal || len(p.overlay) == 0 {
+		return p.syncLocked()
+	}
+	records := make([]WALRecord, 0, len(p.overlay))
+	for id, ov := range p.overlay {
+		records = append(records, WALRecord{Page: id, Kind: ov.kind, InUse: ov.inUse, Payload: ov.data})
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].Page < records[j].Page })
+	walPath := WALPathFor(p.path)
+	if err := writeWALFile(walPath, p.pageSize, p.slotCount, records); err != nil {
+		return err
+	}
+	// From here on the transaction is durable: a crash replays the WAL on
+	// the next open, so every failure below leaves a recoverable file.
+	if p.failAfterWAL != nil {
+		if err := p.failAfterWAL(); err != nil {
+			return err
+		}
+	}
+	if err := p.applyRecordsLocked(records, p.slotCount); err != nil {
+		return err
+	}
+	if err := removeWAL(walPath); err != nil {
+		return err
+	}
+	p.overlay = make(map[PageID]*overlayPage)
+	p.dirty = false
+	return nil
+}
+
+// SetCommitFailpoints installs crash-injection hooks for durability tests:
+// afterWAL runs once the write-ahead log is durable but before any page is
+// applied; apply runs before applying record i. Returning an error from
+// either aborts the commit at that point, simulating a crash (the WAL is
+// left on disk for recovery). Pass nil, nil to clear.
+func (p *FilePager) SetCommitFailpoints(afterWAL func() error, apply func(i int) error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failAfterWAL, p.failApply = afterWAL, apply
+}
+
+// DiscardJournal drops every staged page mutation, returning the pager to
+// the last committed state. The slot directory and free list are rebuilt
+// from the file on next use.
+func (p *FilePager) DiscardJournal() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.journal {
+		return
+	}
+	p.overlay = make(map[PageID]*overlayPage)
+	p.dir, p.free = nil, nil
+	p.slotCount = p.committedSlots
+	p.dirty = false
+}
+
+// applyRecordsLocked writes page images straight into the file — the apply
+// phase of a commit and of WAL replay on open — then extends the file to the
+// full slot region, rewrites the file header, and fsyncs. It is idempotent:
+// replaying the same records again produces the same bytes.
+func (p *FilePager) applyRecordsLocked(records []WALRecord, slotCount int) error {
+	// Extend the file to its final size up front: every later write then
+	// lands inside the file, so a crash mid-apply can never leave a
+	// partial trailing slot that the next open would reject before it even
+	// looks at the WAL.
+	want := fileHeaderBytes + int64(slotCount)*int64(slotHeaderBytes+p.pageSize)
+	if st, err := p.f.Stat(); err != nil {
+		return err
+	} else if st.Size() < want {
+		if err := p.f.Truncate(want); err != nil {
+			return err
+		}
+	}
+	for i, r := range records {
+		if p.failApply != nil {
+			if err := p.failApply(i); err != nil {
+				return err
+			}
+		}
+		if r.InUse {
+			if err := p.writeSlotLocked(r.Page, r.Kind, r.Payload); err != nil {
+				return err
+			}
+		} else {
+			hdr := encodeSlotHeader(r.Kind, false, nil)
+			if _, err := p.f.WriteAt(hdr, p.slotOffset(r.Page)); err != nil {
+				return fmt.Errorf("storage: freeing page %d: %w", r.Page, err)
+			}
+		}
+	}
+	if _, err := p.f.WriteAt(encodeFileHeader(p.pageSize, uint64(slotCount)), 0); err != nil {
+		return err
+	}
+	if err := p.f.Sync(); err != nil {
+		return err
+	}
+	if slotCount > p.committedSlots {
+		p.committedSlots = slotCount
+	}
+	if slotCount > p.slotCount {
+		p.slotCount = slotCount
+	}
+	return nil
+}
+
 // Close syncs (when the pager has unflushed writes) and closes the file; a
 // read-only or untouched pager leaves the file bytes and mtime unchanged.
-// Subsequent operations fail with ErrPagerClosed. Close is idempotent.
+// On a journaled pager, staged pages that were never committed are
+// discarded — call CommitJournal first to keep them. Subsequent operations
+// fail with ErrPagerClosed. Close is idempotent.
 func (p *FilePager) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -474,6 +844,41 @@ func (p *FilePager) Close() error {
 	}
 	return err
 }
+
+// ReadOnlyFile reports whether the pager fell back to a read-only open and
+// therefore rejects mutations with ErrReadOnlyFS.
+func (p *FilePager) ReadOnlyFile() bool { return p.readonly }
+
+// Slot describes one page slot of the file for integrity checks (cbbinspect
+// -verify): its id, kind, whether it is in use, and its payload length.
+type Slot struct {
+	ID     PageID
+	Kind   PageKind
+	InUse  bool
+	Length int
+}
+
+// Slots returns the state of every page slot, building the slot directory
+// if needed (O(page count) on first call). Staged journal state is included.
+func (p *FilePager) Slots() ([]Slot, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrPagerClosed
+	}
+	if err := p.ensureDirLocked(); err != nil {
+		return nil, err
+	}
+	out := make([]Slot, len(p.dir))
+	for i, m := range p.dir {
+		out[i] = Slot{ID: PageID(i + 1), Kind: m.kind, InUse: m.inUse, Length: m.length}
+	}
+	return out, nil
+}
+
+// WALPath returns the path of the pager's write-ahead log file (which exists
+// only while a commit is in flight or after a crash).
+func (p *FilePager) WALPath() string { return WALPathFor(p.path) }
 
 // WriteTo streams the pager's content to w in the on-disk page file format,
 // producing bytes that OpenFilePager and ReadPagerFrom accept. It implements

@@ -108,6 +108,26 @@ func (p *Pager) Allocate(kind PageKind) (PageID, error) {
 	return id, nil
 }
 
+// AllocateRun reserves n consecutively numbered pages of the given kind and
+// returns the first id. The in-memory pager never reuses ids, so the run is
+// always the next n ids.
+func (p *Pager) AllocateRun(kind PageKind, n int) (PageID, error) {
+	if n <= 0 {
+		return InvalidPage, fmt.Errorf("storage: AllocateRun of %d pages", n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return InvalidPage, ErrPagerClosed
+	}
+	first := p.next
+	for i := 0; i < n; i++ {
+		p.pages[p.next] = &page{kind: kind}
+		p.next++
+	}
+	return first, nil
+}
+
 // Write stores the payload in the page. The payload must fit in one page.
 func (p *Pager) Write(id PageID, payload []byte) error {
 	if len(payload) > p.pageSize {

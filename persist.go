@@ -8,19 +8,27 @@ import (
 	"cbb/internal/clipindex"
 	"cbb/internal/rtree"
 	"cbb/internal/snapshot"
+	"cbb/internal/storage"
 )
 
 // This file is the public surface of the persistence subsystem: snapshots of
 // a tree (SaveTo / Load, any io.Writer / io.Reader) and file-backed trees
-// that serve queries directly off an on-disk page file (Open / Create).
-// The format is defined in internal/snapshot: a versioned page file whose
-// first page is a checksummed superblock, followed by the paper's Figure 4a
-// node pages and Figure 4b clip table.
+// that serve queries directly off an on-disk page file (Open / OpenReadOnly
+// / Create). The format is defined in internal/snapshot: a versioned page
+// file whose first page is a checksummed superblock, followed by the paper's
+// Figure 4a node pages and Figure 4b clip table.
+//
+// File-backed trees are writable: Insert and Delete mutate the in-memory
+// node arena and maintain the clip table incrementally, and Flush commits
+// the dirty pages back into the file atomically through a write-ahead log
+// (see internal/storage). Only trees opened with OpenReadOnly — or from a
+// file the process cannot write — reject mutations.
 
 // ErrReadOnly is returned by mutating operations (Insert, Delete, BulkLoad,
-// Flush) on a tree opened with Open: such a tree runs directly off its
-// snapshot file and cannot be modified in place. To evolve a snapshot, Load
-// it into memory, mutate, and save it again.
+// Flush) on a read-only tree: one opened with OpenReadOnly, or opened with
+// Open from a file the process lacks write permission to. Every public
+// mutating method wraps it so that errors.Is(err, cbb.ErrReadOnly) holds
+// without reaching into internal packages.
 var ErrReadOnly = rtree.ErrReadOnly
 
 // snapshotMeta maps the tree's effective options onto a snapshot header.
@@ -122,17 +130,55 @@ func Load(r io.Reader) (*Tree, error) {
 	return restore(snap, base)
 }
 
-// Open opens a snapshot file as a file-backed, read-only tree: node pages
-// are decoded on demand from the file through a FilePager, so opening is
-// near-instant regardless of index size, and every query pays its page
-// accesses against the same I/O counters and optional buffer pool as an
-// in-memory tree. Close releases the file. Mutations return ErrReadOnly.
+// Open opens a snapshot file as a file-backed tree: node pages are decoded
+// on demand from the file through a FilePager, so opening is near-instant
+// regardless of index size, and every query pays its page accesses against
+// the same I/O counters and optional buffer pool as an in-memory tree.
+//
+// The tree is writable when the file is: Insert and Delete work against the
+// faulted-in node arena (maintaining the clip table incrementally), and
+// Flush writes the dirty pages, clip table, and superblock back into the
+// file in one atomic, WAL-protected commit. If the file cannot be opened
+// for writing (e.g. mode 0444 or a read-only mount) the tree falls back to
+// read-only and mutations return ErrReadOnly. Close commits pending changes
+// and releases the file.
+//
+// A commit interrupted by a crash is recovered on the next Open: a
+// committed write-ahead log next to the file is replayed, a torn one is
+// discarded, so the tree reopens at either the pre- or the post-commit
+// state, never a mix.
 func Open(path string) (*Tree, error) {
+	return openFile(path, false)
+}
+
+// OpenReadOnly opens a snapshot file like Open but explicitly read-only:
+// mutations and Flush return ErrReadOnly regardless of file permissions.
+// One exception to "never writes": if a crashed writer left a committed
+// write-ahead log next to a writable file, opening recovers it (replaying
+// the WAL in place) before serving reads, exactly as Open would — on
+// genuinely read-only media the recovered state is instead served from
+// memory and the medium stays untouched.
+func OpenReadOnly(path string) (*Tree, error) {
+	return openFile(path, true)
+}
+
+func openFile(path string, readonly bool) (*Tree, error) {
 	snap, fp, err := snapshot.OpenFile(path)
 	if err != nil {
 		return nil, err
 	}
-	base, err := snap.OpenTree(fp)
+	if fp.ReadOnlyFile() {
+		readonly = true
+	}
+	if !readonly {
+		// All mutations of the page file flow through the journal, so a
+		// Flush commits them atomically via the write-ahead log.
+		if err := fp.EnableJournal(); err != nil {
+			fp.Close()
+			return nil, err
+		}
+	}
+	base, err := snap.OpenTree(fp, readonly)
 	if err != nil {
 		fp.Close()
 		return nil, err
@@ -146,52 +192,90 @@ func Open(path string) (*Tree, error) {
 	return t, nil
 }
 
-// Create makes a new in-memory tree bound to a snapshot file at path: the
-// file is written immediately (so path is known to be writable) and
-// rewritten atomically on every Flush or Close. The tree itself stays fully
-// mutable; Create + Flush is the "build once, ship the file" half of the
-// workflow whose other half is Open.
+// Create makes a new, empty, writable tree bound to a snapshot file at
+// path: the file is written immediately (so path is known to be writable)
+// and the tree is file-backed from the start — Insert, Delete, and BulkLoad
+// work as on any tree, and every Flush or Close commits the accumulated
+// changes into the file atomically through the write-ahead log. Create +
+// Flush is the "build once, ship the file" half of the workflow whose other
+// half is Open.
 func Create(path string, opts Options) (*Tree, error) {
 	t, err := New(opts)
 	if err != nil {
 		return nil, err
 	}
-	t.path = path
-	if err := t.Flush(); err != nil {
+	meta := t.snapshotMeta()
+	meta.PageSize = snapshot.PageSizeFor(t.opts.MaxEntries, t.opts.Dims)
+	fp, err := storage.CreateFilePager(path, meta.PageSize)
+	if err != nil {
 		return nil, err
 	}
+	fail := func(err error) (*Tree, error) {
+		fp.Close()
+		return nil, err
+	}
+	if err := fp.EnableJournal(); err != nil {
+		return fail(err)
+	}
+	if err := snapshot.Write(fp, t.tree, t.table(), meta); err != nil {
+		return fail(err)
+	}
+	if err := fp.CommitJournal(); err != nil {
+		return fail(err)
+	}
+	if err := t.tree.AttachStore(fp, nil); err != nil {
+		return fail(err)
+	}
+	t.pager = fp
 	return t, nil
 }
 
-// Flush writes the current state of a tree created with Create to its
-// snapshot file, atomically (temp file + rename). It returns ErrReadOnly
-// for trees opened with Open and an error for trees with no bound file.
+// Flush commits every change since the last flush — dirty node pages, the
+// clip table, the node index, and the superblock — back into the tree's
+// snapshot file as one atomic transaction: the page images are made durable
+// in a write-ahead log first, then applied in place. It returns ErrReadOnly
+// for read-only trees and an error for trees with no bound file. A tree
+// with nothing to commit just syncs the file.
 func (t *Tree) Flush() error {
-	if t.pager != nil {
-		return ErrReadOnly
+	if t.pager == nil {
+		return errors.New("cbb: tree has no snapshot file; use Create or Open, or SaveTo an io.Writer")
 	}
-	if t.path == "" {
-		return errors.New("cbb: tree has no snapshot file; use Create, or SaveTo an io.Writer")
+	if t.tree.ReadOnly() {
+		return fmt.Errorf("cbb: flush: %w", ErrReadOnly)
 	}
-	return snapshot.WriteFile(t.path, t.tree, t.table(), t.snapshotMeta())
+	if !t.tree.Dirty() {
+		return t.pager.CommitJournal() // commits table-only changes, if any; otherwise a sync
+	}
+	if err := snapshot.Rewrite(t.pager, t.tree, t.table(), t.snapshotMeta()); err != nil {
+		// Roll the staged page mutations back so a failed flush leaves the
+		// file binding at its last committed state.
+		t.pager.DiscardJournal()
+		return err
+	}
+	return t.pager.CommitJournal()
 }
 
-// Close releases the tree's persistence resources: a tree created with
-// Create is flushed to its snapshot file, and a tree opened with Open
-// releases its page file. Closing a tree with no persistence binding is a
-// no-op. The tree must not be used afterwards.
+// Close releases the tree's persistence resources: a writable file-backed
+// tree (Create or Open) is flushed — atomically, through the write-ahead
+// log — and its page file released; a read-only tree just releases the
+// file. Closing a tree with no persistence binding is a no-op. The tree
+// must not be used afterwards.
 func (t *Tree) Close() error {
-	if t.pager != nil {
-		return t.pager.Close()
+	if t.pager == nil {
+		return nil
 	}
-	if t.path != "" {
-		return t.Flush()
+	var err error
+	if !t.tree.ReadOnly() {
+		err = t.Flush()
 	}
-	return nil
+	if cerr := t.pager.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
-// ReadOnly reports whether the tree is file-backed via Open and therefore
-// rejects mutations with ErrReadOnly.
+// ReadOnly reports whether the tree rejects mutations with ErrReadOnly: it
+// was opened with OpenReadOnly, or with Open from an unwritable file.
 func (t *Tree) ReadOnly() bool { return t.tree.ReadOnly() }
 
 // Err returns the first background page-fault failure of a file-backed

@@ -10,6 +10,8 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+
+	"cbb/internal/storage"
 )
 
 // corpusItems builds a deterministic item set in d dimensions.
@@ -214,7 +216,10 @@ func TestFileBackedQueryIO(t *testing.T) {
 	assertTreesEqual(t, orig, loaded, queries)
 }
 
-func TestOpenIsReadOnly(t *testing.T) {
+// TestOpenReadOnly pins the explicit read-only mode and the ErrReadOnly
+// satellite: every public mutating method must fail such that
+// errors.Is(err, cbb.ErrReadOnly) holds, without importing internal/rtree.
+func TestOpenReadOnly(t *testing.T) {
 	orig, err := New(Options{Dims: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -229,13 +234,13 @@ func TestOpenIsReadOnly(t *testing.T) {
 	}
 	f.Close()
 
-	opened, err := Open(path)
+	opened, err := OpenReadOnly(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer opened.Close()
 	if !opened.ReadOnly() {
-		t.Fatal("opened tree must report ReadOnly")
+		t.Fatal("OpenReadOnly tree must report ReadOnly")
 	}
 	if err := opened.Insert(R(0, 0, 1, 1), 999); !errors.Is(err, ErrReadOnly) {
 		t.Fatalf("Insert: %v, want ErrReadOnly", err)
@@ -249,6 +254,405 @@ func TestOpenIsReadOnly(t *testing.T) {
 	if err := opened.Flush(); !errors.Is(err, ErrReadOnly) {
 		t.Fatalf("Flush: %v, want ErrReadOnly", err)
 	}
+	// The read-only open still serves queries off the file.
+	if got, want := opened.Count(R(0, 0, 1000, 1000)), orig.Count(R(0, 0, 1000, 1000)); got != want {
+		t.Fatalf("read-only count %d, want %d", got, want)
+	}
+	// A writable open of the same file must NOT report read-only.
+	rw, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Close()
+	if rw.ReadOnly() {
+		t.Fatal("Open of a writable file must not be read-only")
+	}
+}
+
+// applyOps drives one tree through the shared mixed mutation sequence:
+// items[from:to] are inserted one by one, and after every fourth insert the
+// object at the delete cursor (always one inserted before `from`, so it is
+// guaranteed live) is deleted. Deterministic, so two trees fed the same
+// sequence end in the same state; delFrom threads the cursor across phases.
+func applyOps(t *testing.T, tree *Tree, items []Item, from, to, delFrom int) (inserts, deletes, delNext int) {
+	t.Helper()
+	del := delFrom
+	for i, it := range items[from:to] {
+		if err := tree.Insert(it.Rect, it.Object); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		inserts++
+		if i%4 == 3 && del < from {
+			victim := items[del]
+			ok, err := tree.Delete(victim.Rect, victim.Object)
+			if err != nil {
+				t.Fatalf("delete %d: %v", del, err)
+			}
+			if !ok {
+				t.Fatalf("delete %d: object %d not found", del, victim.Object)
+			}
+			del++
+			deletes++
+		}
+	}
+	return inserts, deletes, del
+}
+
+// assertSameQueryIO runs the query batch against both trees from a cold
+// counter and requires bit-identical leaf and directory access counts.
+func assertSameQueryIO(t *testing.T, want, got *Tree, queries []Rect) {
+	t.Helper()
+	want.ResetIOStats()
+	got.ResetIOStats()
+	for _, q := range queries {
+		want.Search(q, func(ObjectID, Rect) bool { return true })
+		got.Search(q, func(ObjectID, Rect) bool { return true })
+	}
+	w, g := want.IOStats(), got.IOStats()
+	if w.LeafReads != g.LeafReads || w.DirReads != g.DirReads {
+		t.Fatalf("query I/O differs: want leaf=%d dir=%d, got leaf=%d dir=%d",
+			w.LeafReads, w.DirReads, g.LeafReads, g.DirReads)
+	}
+}
+
+// TestWritableFileBackedMatrix is the acceptance matrix of the writable
+// persistence path: over dims 1–3 and all three clip methods, a file-backed
+// tree mutated through the shared operation sequence, flushed, and reopened
+// must be bit-identical — SearchAll (including order), Stats, and leaf/dir
+// query I/O — to an in-memory tree fed the same sequence.
+func TestWritableFileBackedMatrix(t *testing.T) {
+	dir := t.TempDir()
+	for d := 1; d <= 3; d++ {
+		for _, m := range []ClipMethod{ClipStairline, ClipSkyline, ClipNone} {
+			t.Run(fmt.Sprintf("%dd/%v", d, m), func(t *testing.T) {
+				opts := Options{Dims: d, Variant: RRStarTree, Clipping: m, MaxEntries: 16, MinEntries: 6}
+				items := corpusItems(d, 1600, int64(100*d+int(m)))
+				live := 600
+
+				base, err := New(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, it := range items[:live] {
+					if err := base.Insert(it.Rect, it.Object); err != nil {
+						t.Fatal(err)
+					}
+				}
+				var buf bytes.Buffer
+				if err := base.SaveTo(&buf); err != nil {
+					t.Fatal(err)
+				}
+				path := filepath.Join(dir, fmt.Sprintf("w-%d-%v.cbb", d, m))
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+
+				mem, err := Load(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				fb, err := Open(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				applyOps(t, mem, items, live, len(items), 0)
+				applyOps(t, fb, items, live, len(items), 0)
+
+				queries := corpusQueries(d, 25, int64(7*d))
+				assertTreesEqual(t, mem, fb, queries)
+				if err := fb.Close(); err != nil { // Close flushes
+					t.Fatal(err)
+				}
+
+				reopened, err := Open(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer reopened.Close()
+				assertTreesEqual(t, mem, reopened, queries)
+				assertSameQueryIO(t, mem, reopened, queries)
+				if err := reopened.Validate(); err != nil {
+					t.Fatalf("reopened tree invalid: %v", err)
+				}
+				if err := reopened.Err(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestWritableFileBackedHeavy is the headline acceptance run: ≥10k inserts
+// plus deletes against a writable file-backed tree, flushed mid-stream and
+// at the end, reopened, and compared bit-for-bit against the in-memory twin.
+func TestWritableFileBackedHeavy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy update workload")
+	}
+	opts := Options{Dims: 2, Variant: RRStarTree, Clipping: ClipStairline}
+	items := corpusItems(2, 14000, 77)
+	live := 2000
+
+	base, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items[:live] {
+		if err := base.Insert(it.Rect, it.Object); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := base.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "heavy.cbb")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mem, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First half of the sequence, then a mid-stream flush, then the rest:
+	// the second half mutates pages the first flush just wrote back.
+	half := live + (len(items)-live)/2
+	ins1, del1, dn := applyOps(t, mem, items, live, half, 0)
+	applyOps(t, fb, items, live, half, 0)
+	if err := fb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ins2, del2, _ := applyOps(t, mem, items, half, len(items), dn)
+	applyOps(t, fb, items, half, len(items), dn)
+	if ins1+ins2 < 10000 || del1+del2 < 2000 {
+		t.Fatalf("workload too small: %d inserts, %d deletes", ins1+ins2, del1+del2)
+	}
+	if err := fb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	queries := corpusQueries(2, 60, 79)
+	assertTreesEqual(t, mem, reopened, queries)
+	assertSameQueryIO(t, mem, reopened, queries)
+	if reads, writes, ok := reopened.FileStats(); !ok || reads == 0 {
+		t.Fatalf("reopened tree did not fault pages from disk (reads=%d writes=%d ok=%v)", reads, writes, ok)
+	}
+	if err := reopened.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlushCrashRecovery exercises the public crash contract: a flush that
+// dies after its WAL is durable must surface the post-flush state on the
+// next Open; one that dies before (torn WAL) must surface the pre-flush
+// state. Never an error, never a mix.
+func TestFlushCrashRecovery(t *testing.T) {
+	items := corpusItems(2, 900, 91)
+	mkState := func(tmpdir string) string {
+		t.Helper()
+		path := filepath.Join(tmpdir, "crash.cbb")
+		created, err := Create(path, Options{Dims: 2, MaxEntries: 16, MinEntries: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range items[:500] {
+			if err := created.Insert(it.Rect, it.Object); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := created.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	t.Run("after-WAL", func(t *testing.T) {
+		path := mkState(t.TempDir())
+		fb, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applyOps(t, fb, items, 500, len(items), 0)
+		boom := errors.New("crash after WAL")
+		fb.pager.SetCommitFailpoints(func() error { return boom }, nil)
+		if err := fb.Flush(); !errors.Is(err, boom) {
+			t.Fatalf("flush error = %v, want injected crash", err)
+		}
+		// Abandon fb like a dead process and reopen: the committed WAL must
+		// replay to the post-flush state.
+		reopened, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer reopened.Close()
+		mem, err := Load(mustReadAll(t, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := corpusQueries(2, 20, 93)
+		assertTreesEqual(t, mem, reopened, queries)
+		// And it must equal the in-memory twin of the full op sequence.
+		twin, err := New(Options{Dims: 2, MaxEntries: 16, MinEntries: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range items[:500] {
+			if err := twin.Insert(it.Rect, it.Object); err != nil {
+				t.Fatal(err)
+			}
+		}
+		applyOps(t, twin, items, 500, len(items), 0)
+		for i, q := range queries {
+			if twin.Count(q) != reopened.Count(q) {
+				t.Fatalf("query %d: recovered state differs from post-flush state", i)
+			}
+		}
+	})
+
+	t.Run("retry-after-failed-commit", func(t *testing.T) {
+		path := mkState(t.TempDir())
+		fb, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applyOps(t, fb, items, 500, len(items), 0)
+		boom := errors.New("transient I/O error")
+		fb.pager.SetCommitFailpoints(func() error { return boom }, nil)
+		if err := fb.Flush(); !errors.Is(err, boom) {
+			t.Fatalf("flush error = %v, want injected failure", err)
+		}
+		// The failure was transient: clearing it and flushing again must
+		// commit the same transaction, not silently drop it.
+		fb.pager.SetCommitFailpoints(nil, nil)
+		if err := fb.Flush(); err != nil {
+			t.Fatalf("retried flush: %v", err)
+		}
+		if err := fb.Close(); err != nil {
+			t.Fatal(err)
+		}
+		reopened, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer reopened.Close()
+		twin, err := New(Options{Dims: 2, MaxEntries: 16, MinEntries: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range items[:500] {
+			if err := twin.Insert(it.Rect, it.Object); err != nil {
+				t.Fatal(err)
+			}
+		}
+		applyOps(t, twin, items, 500, len(items), 0)
+		queries := corpusQueries(2, 20, 95)
+		for i, q := range queries {
+			if twin.Count(q) != reopened.Count(q) {
+				t.Fatalf("query %d: retried flush lost mutations", i)
+			}
+		}
+	})
+
+	t.Run("torn-WAL", func(t *testing.T) {
+		path := mkState(t.TempDir())
+		s1, err := Load(mustReadAll(t, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applyOps(t, fb, items, 500, len(items), 0)
+		boom := errors.New("crash after WAL")
+		fb.pager.SetCommitFailpoints(func() error { return boom }, nil)
+		if err := fb.Flush(); !errors.Is(err, boom) {
+			t.Fatalf("flush error = %v, want injected crash", err)
+		}
+		// Tear the WAL: drop its last 7 bytes (the commit record is gone).
+		walPath := path + storage.WALSuffix
+		wal, err := os.ReadFile(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(walPath, wal[:len(wal)-7], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reopened, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer reopened.Close()
+		queries := corpusQueries(2, 20, 93)
+		assertTreesEqual(t, s1, reopened, queries)
+	})
+}
+
+// TestOpenEmptySnapshotThenGrow covers the degenerate start: a snapshot of
+// an empty tree, reopened writable, grown from nothing, flushed, reopened.
+func TestOpenEmptySnapshotThenGrow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.cbb")
+	created, err := Create(path, Options{Dims: 2, MaxEntries: 16, MinEntries: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := created.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fb, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.Len() != 0 {
+		t.Fatalf("expected empty tree, got %d objects", fb.Len())
+	}
+	twin, err := New(Options{Dims: 2, MaxEntries: 16, MinEntries: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := corpusItems(2, 400, 17)
+	for _, it := range items {
+		if err := fb.Insert(it.Rect, it.Object); err != nil {
+			t.Fatal(err)
+		}
+		if err := twin.Insert(it.Rect, it.Object); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	queries := corpusQueries(2, 15, 19)
+	assertTreesEqual(t, twin, reopened, queries)
+	if err := reopened.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mustReadAll reads a file into a bytes.Reader for Load.
+func mustReadAll(t *testing.T, path string) *bytes.Reader {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(data)
 }
 
 func TestCreateFlushOpenCycle(t *testing.T) {
