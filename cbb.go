@@ -46,7 +46,7 @@
 // SearchAll, Count, NearestNeighbors, BatchSearch, and both spatial joins
 // are safe for concurrent readers. The read path touches only immutable
 // tree and clip-table state, the atomic I/O counters, and the
-// mutex-protected optional buffer pool; this guarantee is enforced by
+// lock-striped optional buffer pool; this guarantee is enforced by
 // race-detector regression tests. BatchSearch and the Workers join option
 // exploit it to fan work out over a goroutine pool while keeping result
 // counts and I/O accounting exactly equal to a sequential run.
@@ -297,7 +297,9 @@ func (t *Tree) BulkLoad(items []Item) error {
 // Search calls visit for every object whose rectangle intersects q;
 // traversal stops early when visit returns false. With clipping enabled,
 // child nodes whose overlap with q is entirely certified dead space are
-// skipped; the result set is always identical to an unclipped search.
+// skipped; the result set is always identical to an unclipped search. An
+// invalid query, or one whose dimensionality differs from the tree's,
+// matches nothing.
 func (t *Tree) Search(q Rect, visit func(ObjectID, Rect) bool) {
 	if t.idx != nil {
 		t.idx.Search(q, visit)
@@ -432,7 +434,9 @@ func (t *Tree) ResetIOStats() { t.tree.ResetIO() }
 // AttachBufferPool places an LRU buffer pool of the given node capacity in
 // front of the simulated disk: every node access additionally touches the
 // pool, and BufferStats reports how many accesses hit it. A capacity <= 0
-// means unbounded (everything hits after first touch). Attaching replaces
+// means unbounded (everything hits after first touch). The pool is
+// lock-striped so parallel batch searches do not serialise on one mutex;
+// see storage.BufferPool for the sharding semantics. Attaching replaces
 // any previous pool and must not race with concurrent queries; attach before
 // the read phase starts.
 func (t *Tree) AttachBufferPool(capacity int) {

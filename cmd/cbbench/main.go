@@ -26,12 +26,21 @@
 //
 //	cbbench -exp fig11 -save /tmp/cbbcache   # build and save
 //	cbbench -exp fig13 -load /tmp/cbbcache   # reuse the same trees
+//
+// With -cpuprofile FILE and/or -memprofile FILE the run writes pprof
+// profiles (CPU over the whole run; heap after the final experiment), so
+// hot-path regressions can be diagnosed without editing code:
+//
+//	cbbench -exp fig11 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -42,20 +51,54 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (fig01,fig08,fig09,fig10,fig11,table1,fig12,fig13,fig14,join,fig15,throughput,coldstart,update,all)")
-		scale    = flag.Int("scale", 20000, "objects per dataset")
-		queries  = flag.Int("queries", 200, "queries per selectivity profile")
-		seed     = flag.Int64("seed", 42, "random seed")
-		samples  = flag.Int("samples", 256, "Monte-Carlo samples per node for dead-space estimation")
-		dsFlag   = flag.String("datasets", "", "comma-separated dataset subset (default: all seven)")
-		varFlag  = flag.String("variants", "", "comma-separated variant subset (QR-tree,HR-tree,R*-tree,RR*-tree)")
-		tau      = flag.Float64("tau", 0.025, "clip-point volume threshold τ")
-		workers  = flag.Int("workers", 8, "maximum worker count of the parallel throughput sweep")
-		saveDir  = flag.String("save", "", "directory to save built-tree snapshots into (build cost paid once)")
-		loadDir  = flag.String("load", "", "directory to load previously saved tree snapshots from")
-		listOnly = flag.Bool("list", false, "list datasets and experiments, then exit")
+		exp        = flag.String("exp", "all", "experiment to run (fig01,fig08,fig09,fig10,fig11,table1,fig12,fig13,fig14,join,fig15,throughput,coldstart,update,all)")
+		scale      = flag.Int("scale", 20000, "objects per dataset")
+		queries    = flag.Int("queries", 200, "queries per selectivity profile")
+		seed       = flag.Int64("seed", 42, "random seed")
+		samples    = flag.Int("samples", 256, "Monte-Carlo samples per node for dead-space estimation")
+		dsFlag     = flag.String("datasets", "", "comma-separated dataset subset (default: all seven)")
+		varFlag    = flag.String("variants", "", "comma-separated variant subset (QR-tree,HR-tree,R*-tree,RR*-tree)")
+		tau        = flag.Float64("tau", 0.025, "clip-point volume threshold τ")
+		workers    = flag.Int("workers", 8, "maximum worker count of the parallel throughput sweep")
+		saveDir    = flag.String("save", "", "directory to save built-tree snapshots into (build cost paid once)")
+		loadDir    = flag.String("load", "", "directory to load previously saved tree snapshots from")
+		listOnly   = flag.Bool("list", false, "list datasets and experiments, then exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
+
+	// Profile teardown is explicit (not deferred) so the profiles are still
+	// written when an experiment fails and we exit non-zero.
+	stopProfiles := func() {}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(fmt.Errorf("creating CPU profile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(fmt.Errorf("starting CPU profile: %w", err))
+		}
+		stopProfiles = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if *memProfile != "" {
+		stopCPU := stopProfiles
+		stopProfiles = func() {
+			stopCPU()
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(fmt.Errorf("creating heap profile: %w", err))
+			}
+			defer f.Close()
+			runtime.GC() // materialise the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(fmt.Errorf("writing heap profile: %w", err))
+			}
+		}
+	}
 
 	if *listOnly {
 		fmt.Println("datasets:")
@@ -63,6 +106,7 @@ func main() {
 			fmt.Printf("  %-6s %dd  default %d objects  (%s)\n", s.Name, s.Dims, s.DefaultSize, s.Description)
 		}
 		fmt.Println("experiments: fig01 fig08 fig09 fig10 fig11 table1 fig12 fig13 fig14 join fig15 throughput coldstart update all")
+		stopProfiles()
 		return
 	}
 
@@ -94,9 +138,11 @@ func main() {
 	}
 	for _, name := range names {
 		if err := runner.run(name); err != nil {
+			stopProfiles()
 			fatal(err)
 		}
 	}
+	stopProfiles()
 }
 
 type runner struct {

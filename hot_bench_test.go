@@ -1,0 +1,97 @@
+package cbb
+
+// Microbenchmarks of the query hot path. Unlike the figure benchmarks in
+// bench_test.go (which run whole experiments), these isolate the per-query
+// CPU cost of the read path — the quantity the paper argues is negligible
+// next to the I/O savings of clipping. They are tracked by BENCH_baseline.json
+// and run as a CI smoke test; see the README's "Performance" section.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// hotPathTree builds an in-memory bulk-loaded RR*-tree over n uniformly
+// distributed rectangles in [0,1)^dims together with a deterministic query
+// set of roughly 0.1%-selectivity windows.
+func hotPathTree(b *testing.B, n, dims int, clipping ClipMethod) (*Tree, []Rect) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	items := make([]Item, n)
+	for i := range items {
+		lo := make(Point, dims)
+		hi := make(Point, dims)
+		for d := 0; d < dims; d++ {
+			lo[d] = rng.Float64()
+			hi[d] = lo[d] + 0.001*rng.Float64()
+		}
+		items[i] = Item{Object: ObjectID(i), Rect: Rect{Lo: lo, Hi: hi}}
+	}
+	tree, err := New(Options{Dims: dims, Variant: RRStarTree, Clipping: clipping})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tree.BulkLoad(items); err != nil {
+		b.Fatal(err)
+	}
+	side := 0.1 // ~0.1% selectivity in 2d
+	queries := make([]Rect, 256)
+	for i := range queries {
+		lo := make(Point, dims)
+		hi := make(Point, dims)
+		for d := 0; d < dims; d++ {
+			lo[d] = rng.Float64() * (1 - side)
+			hi[d] = lo[d] + side
+		}
+		queries[i] = Rect{Lo: lo, Hi: hi}
+	}
+	return tree, queries
+}
+
+// BenchmarkSearchHot measures one in-memory range query per iteration,
+// cycling through a fixed query set, with clipping enabled (CSTA) and
+// disabled. Steady-state searches perform zero heap allocations; see
+// TestSearchZeroAllocs.
+func BenchmarkSearchHot(b *testing.B) {
+	for _, dims := range []int{2, 3} {
+		for _, cm := range []ClipMethod{ClipNone, ClipStairline} {
+			name := fmt.Sprintf("dims=%d/clip=%s", dims, cm)
+			b.Run(name, func(b *testing.B) {
+				tree, queries := hotPathTree(b, 50000, dims, cm)
+				hits := 0
+				visit := func(ObjectID, Rect) bool { hits++; return true }
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tree.Search(queries[i%len(queries)], visit)
+				}
+				b.StopTimer()
+				if hits == 0 {
+					b.Fatal("queries matched nothing; benchmark is vacuous")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkKNN measures a 10-nearest-neighbour query per iteration over the
+// same uniform tree.
+func BenchmarkKNN(b *testing.B) {
+	tree, _ := hotPathTree(b, 50000, 2, ClipNone)
+	rng := rand.New(rand.NewSource(7))
+	points := make([]Point, 256)
+	for i := range points {
+		points[i] = Pt(rng.Float64(), rng.Float64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total += len(tree.NearestNeighbors(10, points[i%len(points)]))
+	}
+	b.StopTimer()
+	if total == 0 {
+		b.Fatal("no neighbours found; benchmark is vacuous")
+	}
+}

@@ -1,0 +1,111 @@
+package cbb
+
+import (
+	"math/rand"
+	"runtime/debug"
+	"sync"
+	"testing"
+)
+
+// buildHotPathTestTree is the test-sized sibling of the benchmark helper:
+// a bulk-loaded in-memory tree over uniform rectangles plus a query set.
+func buildHotPathTestTree(t *testing.T, n int, clipping ClipMethod) (*Tree, []Rect) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	items := make([]Item, n)
+	for i := range items {
+		lo := Pt(rng.Float64(), rng.Float64())
+		items[i] = Item{Object: ObjectID(i), Rect: Rect{Lo: lo, Hi: Pt(lo[0]+0.01, lo[1]+0.01)}}
+	}
+	tree, err := New(Options{Dims: 2, Variant: RStarTree, Clipping: clipping})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]Rect, 32)
+	for i := range queries {
+		lo := Pt(rng.Float64()*0.9, rng.Float64()*0.9)
+		queries[i] = Rect{Lo: lo, Hi: Pt(lo[0]+0.1, lo[1]+0.1)}
+	}
+	return tree, queries
+}
+
+// TestSearchZeroAllocs pins the zero-allocation guarantee of the in-memory
+// read path: once the pooled search scratch is warm, neither a plain nor a
+// clip-filtered range query allocates. GC is disabled during the
+// measurement so the sync.Pool cannot be drained mid-run.
+func TestSearchZeroAllocs(t *testing.T) {
+	for _, cm := range []ClipMethod{ClipNone, ClipStairline} {
+		t.Run(cm.String(), func(t *testing.T) {
+			tree, queries := buildHotPathTestTree(t, 4000, cm)
+			hits := 0
+			visit := func(ObjectID, Rect) bool { hits++; return true }
+			// Warm the scratch pool and any lazily grown stacks.
+			for _, q := range queries {
+				tree.Search(q, visit)
+			}
+			if hits == 0 {
+				t.Fatal("queries matched nothing; test is vacuous")
+			}
+			defer debug.SetGCPercent(debug.SetGCPercent(-1))
+			i := 0
+			allocs := testing.AllocsPerRun(100, func() {
+				tree.Search(queries[i%len(queries)], visit)
+				i++
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state Search (%s) allocates %.1f times per query, want 0", cm, allocs)
+			}
+		})
+	}
+}
+
+// TestBatchSearchShardedPoolRace exercises the lock-striped buffer pool from
+// several concurrent BatchSearch callers (each itself fanning out over
+// worker goroutines) and checks that every caller observes exactly the
+// sequential per-query counts. Run with -race, this is the regression test
+// for the pool's shard synchronisation.
+func TestBatchSearchShardedPoolRace(t *testing.T) {
+	tree, queries := buildHotPathTestTree(t, 4000, ClipStairline)
+	// Capacity 4096 stripes the pool across the maximum shard count.
+	tree.AttachBufferPool(4096)
+
+	want := make([]int, len(queries))
+	for i, q := range queries {
+		want[i] = tree.Count(q)
+	}
+
+	const callers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 5; round++ {
+				res, err := BatchSearch(tree, queries, BatchOptions{Workers: 4})
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range want {
+					if res.Counts[i] != want[i] {
+						t.Errorf("query %d: concurrent count %d, sequential %d", i, res.Counts[i], want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	stats, ok := tree.BufferStats()
+	if !ok || stats.Hits+stats.Misses == 0 {
+		t.Fatal("buffer pool saw no traffic")
+	}
+}

@@ -102,13 +102,95 @@ func (u UpdateStats) ReclipsPerInsert() float64 {
 	return float64(u.TotalReclips()) / float64(u.Inserts)
 }
 
+// clipStore is the dense admission-path mirror of the clip table: clip
+// points indexed by node id with a single slice load instead of a map
+// lookup. Node ids are arena indices and therefore compact, so the dense
+// slice covers essentially every real tree; ids beyond maxDenseClipID (only
+// reachable through pathological or adversarial snapshots) fall back to a
+// spill map so memory stays bounded by the number of clipped nodes.
+type clipStore struct {
+	dense [][]core.ClipPoint
+	spill map[rtree.NodeID][]core.ClipPoint
+}
+
+// maxDenseClipID bounds the dense slice: 2^21 slice headers are 48 MiB, far
+// beyond any arena the snapshot decoder accepts, and cheap next to the nodes.
+const maxDenseClipID = 1 << 21
+
+// get returns the clip points of the node (nil when none).
+func (s *clipStore) get(id rtree.NodeID) []core.ClipPoint {
+	if uint64(id) < uint64(len(s.dense)) {
+		return s.dense[id]
+	}
+	return s.spill[id]
+}
+
+func (s *clipStore) set(id rtree.NodeID, clips []core.ClipPoint) {
+	if id < 0 {
+		return
+	}
+	if int64(id) < maxDenseClipID {
+		for int(id) >= len(s.dense) {
+			s.dense = append(s.dense, nil)
+		}
+		s.dense[id] = clips
+		return
+	}
+	if s.spill == nil {
+		s.spill = make(map[rtree.NodeID][]core.ClipPoint)
+	}
+	s.spill[id] = clips
+}
+
+func (s *clipStore) del(id rtree.NodeID) {
+	if uint64(id) < uint64(len(s.dense)) {
+		s.dense[id] = nil
+		return
+	}
+	delete(s.spill, id)
+}
+
+func (s *clipStore) reset() {
+	for i := range s.dense {
+		s.dense[i] = nil
+	}
+	s.dense = s.dense[:0]
+	s.spill = nil
+}
+
 // Index is a clipped R-tree: an rtree.Tree of any variant plus a clip table
-// and the parameters used to maintain it.
+// and the parameters used to maintain it. The authoritative table (the
+// serialised Figure 4b form) and the dense admission mirror are kept in sync
+// through setClips/delClips.
 type Index struct {
 	tree   *rtree.Tree
 	params core.Params
 	table  Table
+	store  clipStore
 	stats  UpdateStats
+}
+
+// setClips installs a node's clip points in both the table and the dense
+// admission mirror.
+func (x *Index) setClips(id rtree.NodeID, clips []core.ClipPoint) {
+	x.table[id] = clips
+	x.store.set(id, clips)
+}
+
+// delClips removes a node's clip points from both representations.
+func (x *Index) delClips(id rtree.NodeID) {
+	delete(x.table, id)
+	x.store.del(id)
+}
+
+// Clips returns the clip points of the node (nil when it has none), through
+// the dense admission mirror. A nil Index returns nil, so join code can hold
+// an optional *Index without guarding every lookup.
+func (x *Index) Clips(id rtree.NodeID) []core.ClipPoint {
+	if x == nil {
+		return nil
+	}
+	return x.store.get(id)
 }
 
 // New wraps an existing tree (already built, possibly empty) and computes
@@ -141,7 +223,11 @@ func Restore(tree *rtree.Tree, params core.Params, table Table) (*Index, error) 
 	if table == nil {
 		table = make(Table)
 	}
-	return &Index{tree: tree, params: params, table: table}, nil
+	x := &Index{tree: tree, params: params, table: table}
+	for id, clips := range table {
+		x.store.set(id, clips)
+	}
+	return x, nil
 }
 
 // Tree returns the underlying R-tree.
@@ -167,6 +253,7 @@ func (x *Index) Len() int { return x.tree.Len() }
 // clipped before its nodes are flushed to disk).
 func (x *Index) RebuildAll() {
 	x.table = make(Table)
+	x.store.reset()
 	x.tree.Walk(func(info rtree.NodeInfo) {
 		x.reclipNode(info)
 	})
@@ -180,10 +267,10 @@ func (x *Index) reclipNode(info rtree.NodeInfo) {
 	}
 	clips := core.Clip(info.MBB, children, x.params)
 	if len(clips) == 0 {
-		delete(x.table, info.ID)
+		x.delClips(info.ID)
 		return
 	}
-	x.table[info.ID] = clips
+	x.setClips(info.ID, clips)
 }
 
 // reclipByID recomputes one node's clip points, looking the node up first;
@@ -191,7 +278,7 @@ func (x *Index) reclipNode(info rtree.NodeInfo) {
 func (x *Index) reclipByID(id rtree.NodeID) {
 	info, err := x.tree.Node(id)
 	if err != nil {
-		delete(x.table, id)
+		x.delClips(id)
 		return
 	}
 	x.reclipNode(info)
@@ -214,23 +301,33 @@ func (x *Index) Search(q geom.Rect, visit func(rtree.ObjectID, geom.Rect) bool) 
 // hook parallel executors use to give each worker goroutine private I/O
 // accounting.
 func (x *Index) SearchCounted(q geom.Rect, c *storage.Counter, visit func(rtree.ObjectID, geom.Rect) bool) {
-	if x.tree.RootID() == rtree.InvalidNode {
+	root := x.tree.RootID()
+	if root == rtree.InvalidNode || !q.Valid() || q.Dims() != x.tree.Dims() {
 		return
 	}
-	// The root's own clip points can prune the query outright.
-	rootInfo, err := x.tree.Node(x.tree.RootID())
-	if err == nil {
-		if !core.Intersects(rootInfo.MBB, x.table[rootInfo.ID], q, core.SelectorQuery) {
-			return
-		}
+	// The root's own MBB and clip points can prune the query outright,
+	// before any I/O is charged.
+	if !x.tree.RootMBBIntersects(q) {
+		return
 	}
-	x.tree.SearchFilteredCounted(q, func(child rtree.NodeID, childMBB geom.Rect) bool {
-		clips := x.table[child]
-		if len(clips) == 0 {
-			return true
-		}
-		return core.Intersects(childMBB, clips, q, core.SelectorQuery)
-	}, c, visit)
+	if core.QueryDead(x.store.get(root), q) {
+		return
+	}
+	x.tree.SearchAdmittedCounted(q, x, c, visit)
+}
+
+// AdmitChild is the Algorithm-2 admission test the clipped search runs before
+// visiting a child node (it implements rtree.Admitter): it reports whether
+// the query's overlap with the child's MBB may contain live space. A child
+// with no clip points is always admitted. The clip lookup is a dense slice
+// load and the dominance tests allocate nothing, so admission costs an index
+// load plus a handful of float comparisons per clip point.
+func (x *Index) AdmitChild(child rtree.NodeID, childMBB geom.Rect, q geom.Rect) bool {
+	clips := x.store.get(child)
+	if len(clips) == 0 {
+		return true
+	}
+	return core.Intersects(childMBB, clips, q, core.SelectorQuery)
 }
 
 // Count returns the number of objects intersecting q using the clipped
@@ -291,7 +388,7 @@ func (x *Index) Insert(r geom.Rect, obj rtree.ObjectID) ([]ReclipCause, error) {
 		if reclipped[pl.Node] {
 			continue
 		}
-		clips := x.table[pl.Node]
+		clips := x.store.get(pl.Node)
 		if len(clips) == 0 {
 			// No clip points can be invalidated, but new dead space might
 			// now be clippable; the paper leaves such nodes alone until the
@@ -331,7 +428,7 @@ func (x *Index) checkAncestors(trace *rtree.InsertTrace, reclip func(rtree.NodeI
 		if trace.Changed(parent) {
 			continue // already re-clipped via its own cause
 		}
-		clips := x.table[parent]
+		clips := x.store.get(parent)
 		if len(clips) == 0 {
 			continue
 		}
@@ -361,7 +458,7 @@ func (x *Index) Delete(r geom.Rect, obj rtree.ObjectID) (bool, error) {
 	}
 	x.stats.Deletes++
 	for _, id := range trace.Removed {
-		delete(x.table, id)
+		x.delClips(id)
 	}
 	reclipped := make(map[rtree.NodeID]bool)
 	for _, id := range trace.MBBChanged {
@@ -377,7 +474,7 @@ func (x *Index) Delete(r geom.Rect, obj rtree.ObjectID) (bool, error) {
 		if reclipped[pl.Node] {
 			continue
 		}
-		clips := x.table[pl.Node]
+		clips := x.store.get(pl.Node)
 		if len(clips) == 0 {
 			continue
 		}
@@ -398,7 +495,7 @@ func (x *Index) Delete(r geom.Rect, obj rtree.ObjectID) (bool, error) {
 		if err != nil || info.Parent == rtree.InvalidNode || reclipped[info.Parent] {
 			continue
 		}
-		clips := x.table[info.Parent]
+		clips := x.store.get(info.Parent)
 		if len(clips) == 0 {
 			continue
 		}

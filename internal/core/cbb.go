@@ -262,31 +262,85 @@ const (
 // the boundary of a dead region is never treated as inside it; clipped search
 // therefore returns exactly the same results as unclipped search even for
 // workloads with exact coordinate ties.
+// The per-clip dominance tests are evaluated without materialising the probe
+// corner: Algorithm 2 only ever compares the corner coordinate q.Lo[i] or
+// q.Hi[i] selected by the clip mask, so the test reads the query extents
+// directly. This keeps the admission path — which runs once per candidate
+// child on every query — free of heap allocations.
 func Intersects(mbb geom.Rect, clips []ClipPoint, q geom.Rect, sel Selector) bool {
 	if !mbb.Intersects(q) {
 		return false
 	}
-	if len(clips) == 0 {
+	switch sel {
+	case SelectorQuery:
+		return !QueryDead(clips, q)
+	case SelectorInsert:
+		return !insertDead(clips, q)
+	default:
+		// Unknown selector: be conservative and never prune.
 		return true
 	}
-	dims := mbb.Dims()
+}
+
+// QueryDead reports whether one of the clip points certifies the probe
+// rectangle's overlap with the node as entirely dead space — the dominance
+// half of Algorithm 2 with the query selector, for callers that have already
+// established that q intersects the node's MBB. It performs no allocations.
+//
+// The probe corner of clip point <c, b> is q's corner farthest from the
+// clipped MBB corner, i.e. q.Corner(b.Opposite): dimension i reads q.Lo[i]
+// when bit i of b is set and q.Hi[i] otherwise. StrictlyDominates of that
+// corner then unfolds to the comparisons below.
+func QueryDead(clips []ClipPoint, q geom.Rect) bool {
 	for i := range clips {
 		c := &clips[i]
-		var probe geom.Point
-		switch sel {
-		case SelectorQuery:
-			probe = q.Corner(c.Mask.Opposite(dims))
-		case SelectorInsert:
-			probe = q.Corner(c.Mask)
-		default:
-			// Unknown selector: be conservative and never prune.
+		dead := true
+		for d := range c.Coord {
+			if c.Mask.Bit(d) {
+				if q.Lo[d] <= c.Coord[d] {
+					dead = false
+					break
+				}
+			} else {
+				if q.Hi[d] >= c.Coord[d] {
+					dead = false
+					break
+				}
+			}
+		}
+		if dead {
 			return true
 		}
-		if geom.StrictlyDominates(probe, c.Coord, c.Mask) {
-			return false
+	}
+	return false
+}
+
+// insertDead is the insert-selector counterpart of QueryDead: it reports
+// whether the rectangle of a newly placed object reaches strictly into space
+// certified dead by one clip point. The probe corner is q.Corner(b): q.Hi[i]
+// when bit i is set, q.Lo[i] otherwise.
+func insertDead(clips []ClipPoint, q geom.Rect) bool {
+	for i := range clips {
+		c := &clips[i]
+		dead := true
+		for d := range c.Coord {
+			if c.Mask.Bit(d) {
+				if q.Hi[d] <= c.Coord[d] {
+					dead = false
+					break
+				}
+			} else {
+				if q.Lo[d] >= c.Coord[d] {
+					dead = false
+					break
+				}
+			}
+		}
+		if dead {
+			return true
 		}
 	}
-	return true
+	return false
 }
 
 // ValidAfterInsert reports whether the clip points of a node remain valid

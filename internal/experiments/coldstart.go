@@ -129,7 +129,10 @@ func coldStartRun(path string, batch []geom.Rect, capacity int, clipped bool) (C
 	if err != nil {
 		return ColdStartRow{}, err
 	}
-	tree.SetBufferPool(storage.NewBufferPool(capacity))
+	// The reported miss count IS this experiment's metric, so the pool
+	// must be an exact LRU at every capacity: use the unsharded layout
+	// (the run is strictly sequential; striping would buy nothing).
+	tree.SetBufferPool(storage.NewUnshardedBufferPool(capacity))
 
 	results := 0
 	visit := func(rtree.ObjectID, geom.Rect) bool { results++; return true }

@@ -152,10 +152,10 @@ func PSTT(left, right *rtree.Tree, leftIdx, rightIdx *clipindex.Index, workers i
 		}
 		j := &sttJoiner{
 			left: left, right: right,
-			leftClips:  tableOrNil(leftIdx),
-			rightClips: tableOrNil(rightIdx),
-			visit:      emit,
-			leftCtr:    leftCtr,
+			leftIdx:  leftIdx,
+			rightIdx: rightIdx,
+			visit:    emit,
+			leftCtr:  leftCtr,
 		}
 		if shared {
 			j.rightCtr = j.leftCtr
@@ -248,16 +248,12 @@ func serializedVisit(visit func(Pair), workers int) func(Pair) {
 	}
 }
 
-func tableOrNil(idx *clipindex.Index) clipindex.Table {
-	if idx == nil {
-		return nil
-	}
-	return idx.Table()
-}
-
 type sttJoiner struct {
-	left, right           *rtree.Tree
-	leftClips, rightClips clipindex.Table
+	left, right *rtree.Tree
+	// leftIdx and rightIdx are the optional clip indexes of the two inputs;
+	// clip points are looked up through Index.Clips, the dense admission
+	// path (nil-safe on a nil index).
+	leftIdx, rightIdx *clipindex.Index
 	// leftCtr and rightCtr receive the node accesses of the respective tree;
 	// they point at the same counter when the trees share one.
 	leftCtr, rightCtr *storage.Counter
@@ -272,12 +268,12 @@ func (j *sttJoiner) admissible(leftID rtree.NodeID, leftMBB geom.Rect, rightID r
 	if !leftMBB.Intersects(rightMBB) {
 		return false
 	}
-	if clips := j.leftClips[leftID]; len(clips) > 0 {
+	if clips := j.leftIdx.Clips(leftID); len(clips) > 0 {
 		if !core.Intersects(leftMBB, clips, rightMBB, core.SelectorQuery) {
 			return false
 		}
 	}
-	if clips := j.rightClips[rightID]; len(clips) > 0 {
+	if clips := j.rightIdx.Clips(rightID); len(clips) > 0 {
 		if !core.Intersects(rightMBB, clips, leftMBB, core.SelectorQuery) {
 			return false
 		}
@@ -314,14 +310,14 @@ func (j *sttJoiner) joinNodes(leftID, rightID rtree.NodeID) {
 		for k := range rinfo.Children {
 			child := rinfo.Children[k]
 			if j.admissible(linfo.ID, linfo.MBB, child.Child, child.Rect) {
-				j.joinLeafWithNode(linfo, j.right, child.Child, j.rightClips)
+				j.joinLeafWithNode(linfo, j.right, child.Child, j.rightIdx)
 			}
 		}
 	case rinfo.Leaf:
 		for i := range linfo.Children {
 			child := linfo.Children[i]
 			if j.admissible(child.Child, child.Rect, rinfo.ID, rinfo.MBB) {
-				j.joinNodeWithLeaf(j.left, child.Child, j.leftClips, rinfo)
+				j.joinNodeWithLeaf(j.left, child.Child, j.leftIdx, rinfo)
 			}
 		}
 	default:
@@ -338,7 +334,7 @@ func (j *sttJoiner) joinNodes(leftID, rightID rtree.NodeID) {
 
 // joinLeafWithNode joins an already-loaded leaf with a (possibly deeper)
 // subtree of the other tree.
-func (j *sttJoiner) joinLeafWithNode(leaf rtree.NodeInfo, other *rtree.Tree, otherID rtree.NodeID, otherClips clipindex.Table) {
+func (j *sttJoiner) joinLeafWithNode(leaf rtree.NodeInfo, other *rtree.Tree, otherID rtree.NodeID, otherIdx *clipindex.Index) {
 	oinfo, err := other.Node(otherID)
 	if err != nil {
 		return
@@ -362,17 +358,17 @@ func (j *sttJoiner) joinLeafWithNode(leaf rtree.NodeInfo, other *rtree.Tree, oth
 		if !leaf.MBB.Intersects(child.Rect) {
 			continue
 		}
-		if clips := otherClips[child.Child]; len(clips) > 0 {
+		if clips := otherIdx.Clips(child.Child); len(clips) > 0 {
 			if !core.Intersects(child.Rect, clips, leaf.MBB, core.SelectorQuery) {
 				continue
 			}
 		}
-		j.joinLeafWithNode(leaf, other, child.Child, otherClips)
+		j.joinLeafWithNode(leaf, other, child.Child, otherIdx)
 	}
 }
 
 // joinNodeWithLeaf mirrors joinLeafWithNode with the leaf on the right.
-func (j *sttJoiner) joinNodeWithLeaf(other *rtree.Tree, otherID rtree.NodeID, otherClips clipindex.Table, leaf rtree.NodeInfo) {
+func (j *sttJoiner) joinNodeWithLeaf(other *rtree.Tree, otherID rtree.NodeID, otherIdx *clipindex.Index, leaf rtree.NodeInfo) {
 	oinfo, err := other.Node(otherID)
 	if err != nil {
 		return
@@ -396,12 +392,12 @@ func (j *sttJoiner) joinNodeWithLeaf(other *rtree.Tree, otherID rtree.NodeID, ot
 		if !child.Rect.Intersects(leaf.MBB) {
 			continue
 		}
-		if clips := otherClips[child.Child]; len(clips) > 0 {
+		if clips := otherIdx.Clips(child.Child); len(clips) > 0 {
 			if !core.Intersects(child.Rect, clips, leaf.MBB, core.SelectorQuery) {
 				continue
 			}
 		}
-		j.joinNodeWithLeaf(other, child.Child, otherClips, leaf)
+		j.joinNodeWithLeaf(other, child.Child, otherIdx, leaf)
 	}
 }
 

@@ -150,6 +150,7 @@ func (t *Tree) buildFromLeaves(leafEntries [][]Entry) {
 	for _, run := range leafEntries {
 		n := t.newNode(true, 0)
 		n.entries = run
+		t.touch(n)
 		t.updateHilbertLHV(n)
 		t.counter.Write(1)
 		current = append(current, n.id)
@@ -166,6 +167,7 @@ func (t *Tree) buildFromLeaves(leafEntries [][]Entry) {
 				parent.entries = append(parent.entries, Entry{Rect: child.mbb(), Child: childID})
 			}
 			pos += sz
+			t.touch(parent)
 			t.updateHilbertLHV(parent)
 			t.counter.Write(1)
 			next = append(next, parent.id)

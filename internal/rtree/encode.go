@@ -111,6 +111,7 @@ func decodeNode(buf []byte, dims int) (*node, error) {
 		}
 		n.entries[i] = e
 	}
+	n.syncBoxes(dims)
 	return n, nil
 }
 

@@ -116,6 +116,7 @@ func (t *Tree) Insert(r geom.Rect, obj ObjectID) (trace *InsertTrace, err error)
 		t.root = root.id
 		t.height = 1
 		root.entries = append(root.entries, Entry{Rect: r.Clone(), Object: obj, Child: InvalidNode})
+		t.touch(root)
 		t.updateHilbertLHV(root)
 		t.size++
 		trace.Leaf = root.id
@@ -352,6 +353,7 @@ func (t *Tree) splitNode(n *node, trace *InsertTrace, overflowDone map[int]bool)
 	n.entries = groupA
 	sibling.entries = groupB
 	t.touch(n)
+	t.touch(sibling)
 	if !n.leaf {
 		for i := range sibling.entries {
 			t.mustNode(sibling.entries[i].Child).parent = sibling.id
@@ -372,6 +374,7 @@ func (t *Tree) splitNode(n *node, trace *InsertTrace, overflowDone map[int]bool)
 			{Rect: n.mbb(), Child: n.id},
 			{Rect: sibling.mbb(), Child: sibling.id},
 		}
+		t.touch(newRoot)
 		n.parent = newRoot.id
 		sibling.parent = newRoot.id
 		t.root = newRoot.id

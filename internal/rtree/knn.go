@@ -1,7 +1,7 @@
 package rtree
 
 import (
-	"container/heap"
+	"sync"
 
 	"cbb/internal/geom"
 )
@@ -12,6 +12,18 @@ type Neighbor struct {
 	Object ObjectID
 	Rect   geom.Rect
 	DistSq float64
+}
+
+// knnScratch is the pooled working state of a nearest-neighbour query: the
+// best-first priority queue. Pooling it (plus the concrete-typed heap below,
+// which avoids the interface boxing of container/heap) keeps the per-query
+// allocations down to the returned result slice.
+type knnScratch struct {
+	pq []knnEntry
+}
+
+var knnScratchPool = sync.Pool{
+	New: func() interface{} { return &knnScratch{pq: make([]knnEntry, 0, 128)} },
 }
 
 // NearestNeighbors returns the k objects whose rectangles are closest to the
@@ -32,20 +44,28 @@ func (t *Tree) NearestNeighbors(k int, p geom.Point) []Neighbor {
 	if root == nil {
 		return nil
 	}
-	pq := &knnQueue{}
-	heap.Init(pq)
-	heap.Push(pq, knnEntry{node: t.root, distSq: root.mbb().MinDistSq(p)})
+	dims := t.cfg.Dims
+	sc := knnScratchPool.Get().(*knnScratch)
+	pq := knnPush(sc.pq[:0], knnEntry{node: t.root, distSq: root.mbbMinDistSq(p, dims)})
 
-	var results []Neighbor
-	worst := func() float64 {
-		if len(results) < k {
-			return -1 // no bound yet
-		}
-		return results[len(results)-1].DistSq
+	// At most min(k, size) results can exist; +1 slot absorbs the transient
+	// append inside insertNeighbor. Sizing by k alone would let a huge k
+	// (e.g. "all neighbours" spelled as MaxInt) attempt an absurd allocation.
+	capHint := k
+	if t.size < capHint {
+		capHint = t.size
 	}
-	for pq.Len() > 0 {
-		e := heap.Pop(pq).(knnEntry)
-		if w := worst(); w >= 0 && e.distSq > w {
+	results := make([]Neighbor, 0, capHint+1)
+	for len(pq) > 0 {
+		var e knnEntry
+		pq, e = knnPop(pq)
+		// worst is the current k-th best distance, the pruning bound; -1
+		// means the result set is not full yet, so nothing can be pruned.
+		worst := -1.0
+		if len(results) >= k {
+			worst = results[len(results)-1].DistSq
+		}
+		if worst >= 0 && e.distSq > worst {
 			break // nothing in the queue can improve the result set
 		}
 		if e.node != InvalidNode {
@@ -53,26 +73,32 @@ func (t *Tree) NearestNeighbors(k int, p geom.Point) []Neighbor {
 			if n == nil {
 				continue
 			}
-			if n.leaf {
-				t.ChargeRead(n.id, true, nil)
-				for i := range n.entries {
-					d := n.entries[i].Rect.MinDistSq(p)
-					if w := worst(); w >= 0 && d > w {
-						continue
+			t.ChargeRead(n.id, n.leaf, nil)
+			boxes := n.boxes
+			off := 0
+			for i := range n.entries {
+				var d float64
+				for dim := 0; dim < dims; dim++ {
+					switch v := p[dim]; {
+					case v < boxes[off+dim]:
+						dv := boxes[off+dim] - v
+						d += dv * dv
+					case v > boxes[off+dims+dim]:
+						dv := v - boxes[off+dims+dim]
+						d += dv * dv
 					}
-					heap.Push(pq, knnEntry{
+				}
+				off += 2 * dims
+				if worst >= 0 && d > worst {
+					continue
+				}
+				if n.leaf {
+					pq = knnPush(pq, knnEntry{
 						node: InvalidNode, object: n.entries[i].Object,
 						rect: n.entries[i].Rect, distSq: d, isObject: true,
 					})
-				}
-			} else {
-				t.ChargeRead(n.id, false, nil)
-				for i := range n.entries {
-					d := n.entries[i].Rect.MinDistSq(p)
-					if w := worst(); w >= 0 && d > w {
-						continue
-					}
-					heap.Push(pq, knnEntry{node: n.entries[i].Child, distSq: d})
+				} else {
+					pq = knnPush(pq, knnEntry{node: n.entries[i].Child, distSq: d})
 				}
 			}
 			continue
@@ -81,6 +107,13 @@ func (t *Tree) NearestNeighbors(k int, p geom.Point) []Neighbor {
 		// still queued, so it is final.
 		results = insertNeighbor(results, Neighbor{Object: e.object, Rect: e.rect, DistSq: e.distSq}, k)
 	}
+	// Drop rectangle references before pooling so the scratch does not pin
+	// entry rectangles of this tree until its next use.
+	for i := range pq {
+		pq[i] = knnEntry{}
+	}
+	sc.pq = pq[:0]
+	knnScratchPool.Put(sc)
 	return results
 }
 
@@ -108,25 +141,55 @@ type knnEntry struct {
 	isObject bool
 }
 
-type knnQueue []knnEntry
-
-func (q knnQueue) Len() int { return len(q) }
-func (q knnQueue) Less(i, j int) bool {
+// knnLess orders queue entries by ascending distance, surfacing objects
+// before nodes at equal distance so results finalise as early as possible.
+func knnLess(q []knnEntry, i, j int) bool {
 	if q[i].distSq != q[j].distSq {
 		return q[i].distSq < q[j].distSq
 	}
-	// Prefer surfacing objects before nodes at equal distance so results
-	// finalise as early as possible.
 	return q[i].isObject && !q[j].isObject
 }
-func (q knnQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *knnQueue) Push(x interface{}) {
-	*q = append(*q, x.(knnEntry))
+
+// knnPush and knnPop are container/heap's Push and Pop specialised to
+// []knnEntry: the sift procedures mirror heap.up/heap.down exactly, so the
+// pop order — and with it visit order and I/O accounting — is bit-identical
+// to the previous container/heap implementation, without boxing every entry
+// in an interface value.
+func knnPush(q []knnEntry, e knnEntry) []knnEntry {
+	q = append(q, e)
+	j := len(q) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !knnLess(q, j, i) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+	return q
 }
-func (q *knnQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	item := old[n-1]
-	*q = old[:n-1]
-	return item
+
+func knnPop(q []knnEntry) ([]knnEntry, knnEntry) {
+	n := len(q) - 1
+	q[0], q[n] = q[n], q[0]
+	// Sift the swapped element down within q[:n] (heap.down(0, n)).
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && knnLess(q, j2, j1) {
+			j = j2
+		}
+		if !knnLess(q, j, i) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
+	e := q[n]
+	q[n] = knnEntry{}
+	return q[:n], e
 }

@@ -16,6 +16,7 @@ package rtree
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"cbb/internal/geom"
@@ -91,9 +92,86 @@ type node struct {
 	leaf    bool
 	level   int // 0 = leaf level
 	entries []Entry
+	// boxes is the flat coordinate mirror of the entry rectangles: 2·dims
+	// contiguous float64 per entry (Lo extents then Hi extents), in entry
+	// order. The query hot path scans it instead of chasing the per-entry
+	// Rect slices, so one node's coordinates occupy one contiguous block.
+	// Every mutation of entries refreshes it through Tree.touch (and the
+	// decode path builds it directly); Tree.Validate checks the mirror.
+	boxes []float64
 	// hilbertLHV is the largest Hilbert value of the subtree, maintained
 	// only by the Hilbert variant.
 	hilbertLHV uint64
+}
+
+// syncBoxes rebuilds the flat coordinate mirror from the entry rectangles.
+func (n *node) syncBoxes(dims int) {
+	need := len(n.entries) * 2 * dims
+	if cap(n.boxes) < need {
+		n.boxes = make([]float64, need)
+	} else {
+		n.boxes = n.boxes[:need]
+	}
+	off := 0
+	for i := range n.entries {
+		r := &n.entries[i].Rect
+		copy(n.boxes[off:off+dims], r.Lo)
+		copy(n.boxes[off+dims:off+2*dims], r.Hi)
+		off += 2 * dims
+	}
+}
+
+// mbbIntersects reports whether q intersects the MBB of the node's entries,
+// scanning the flat mirror instead of materialising the MBB (n.mbb()
+// allocates). An entry-less node keeps the legacy vacuous-truth semantics of
+// the zero Rect: everything intersects it.
+func (n *node) mbbIntersects(q geom.Rect, dims int) bool {
+	if len(n.entries) == 0 {
+		return true
+	}
+	for d := 0; d < dims; d++ {
+		minLo := math.Inf(1)
+		maxHi := math.Inf(-1)
+		for off := 0; off < len(n.boxes); off += 2 * dims {
+			if v := n.boxes[off+d]; v < minLo {
+				minLo = v
+			}
+			if v := n.boxes[off+dims+d]; v > maxHi {
+				maxHi = v
+			}
+		}
+		if maxHi < q.Lo[d] || q.Hi[d] < minLo {
+			return false
+		}
+	}
+	return true
+}
+
+// mbbMinDistSq returns the squared minimum distance from p to the node's MBB
+// without materialising the MBB, mirroring geom.Rect.MinDistSq.
+func (n *node) mbbMinDistSq(p geom.Point, dims int) float64 {
+	var s float64
+	for d := 0; d < dims; d++ {
+		minLo := math.Inf(1)
+		maxHi := math.Inf(-1)
+		for off := 0; off < len(n.boxes); off += 2 * dims {
+			if v := n.boxes[off+d]; v < minLo {
+				minLo = v
+			}
+			if v := n.boxes[off+dims+d]; v > maxHi {
+				maxHi = v
+			}
+		}
+		switch {
+		case p[d] < minLo:
+			dv := minLo - p[d]
+			s += dv * dv
+		case p[d] > maxHi:
+			dv := p[d] - maxHi
+			s += dv * dv
+		}
+	}
+	return s
 }
 
 func (n *node) mbb() geom.Rect {
@@ -186,7 +264,7 @@ func (c Config) withDefaults() (Config, error) {
 // construction and updates have finished any number of goroutines may run
 // Search, SearchFiltered, Count, NearestNeighbors, Walk, Node, and the join
 // algorithms concurrently. The read path touches only immutable node state,
-// the atomic I/O counter, and the (mutex-protected) optional buffer pool.
+// the atomic I/O counter, and the (lock-striped) optional buffer pool.
 // SetCounter and SetBufferPool must not race with readers; attach them
 // before the concurrent phase starts.
 type Tree struct {
@@ -349,6 +427,23 @@ func (t *Tree) Err() error {
 	return t.faultErr
 }
 
+// RootMBBIntersects reports whether q intersects the MBB of the root node,
+// scanning the root's flat coordinate mirror without charging I/O or
+// allocating. It returns false for an empty tree and true when the root
+// cannot be read (so callers fall through to the regular search path, which
+// records the fault). The clipped search layer uses it for its root pruning
+// test; q must have the tree's dimensionality.
+func (t *Tree) RootMBBIntersects(q geom.Rect) bool {
+	if t.root == InvalidNode {
+		return false
+	}
+	n := t.node(t.root)
+	if n == nil {
+		return true
+	}
+	return n.mbbIntersects(q, t.cfg.Dims)
+}
+
 // Bounds returns the MBB of all indexed objects (zero Rect when empty).
 func (t *Tree) Bounds() geom.Rect {
 	if t.root == InvalidNode {
@@ -382,6 +477,7 @@ func (t *Tree) newNode(leaf bool, level int) *node {
 
 func (t *Tree) freeNode(id NodeID) {
 	t.nodes[id].entries = nil
+	t.nodes[id].boxes = nil
 	t.free = append(t.free, id)
 	if t.src != nil {
 		// The node's page (if it has one) is released on the next flush; a
@@ -396,13 +492,14 @@ func (t *Tree) freeNode(id NodeID) {
 }
 
 // touch records that a node's persistent state (entries, leaf flag, level)
-// changed, so the next FlushDirty writes it back. It is a no-op for
-// in-memory trees, making it safe to call from every mutation site — the
-// single node-access layer shared by both modes.
+// changed: the next FlushDirty writes it back (file-backed trees), and the
+// flat coordinate mirror is refreshed (all trees). Every entry mutation site
+// calls it — the single node-access layer shared by both modes.
 func (t *Tree) touch(n *node) {
 	if t.src != nil {
 		t.src.dirty[n.id] = struct{}{}
 	}
+	n.syncBoxes(t.cfg.Dims)
 }
 
 // faultFailure carries a node-access failure out of the deep mutation
@@ -619,6 +716,11 @@ func (t *Tree) NodeCount() (dir, leaf int) {
 // Search finds every object whose rectangle intersects q and passes it to
 // visit; traversal stops early if visit returns false. Node accesses are
 // charged to the tree's counter (directory and leaf reads separately).
+//
+// An invalid query, or one whose dimensionality differs from the tree's,
+// matches nothing. (Previously a query with extra dimensions had them
+// silently ignored on the unclipped path and panicked on the clipped path;
+// both now uniformly return no results.)
 func (t *Tree) Search(q geom.Rect, visit func(ObjectID, geom.Rect) bool) {
 	t.SearchFiltered(q, nil, visit)
 }
@@ -644,41 +746,119 @@ func (t *Tree) SearchFiltered(q geom.Rect, filter func(NodeID, geom.Rect) bool, 
 // SearchFilteredCounted is SearchFiltered with the node accesses charged to
 // an explicit counter (the tree's own when c is nil).
 func (t *Tree) SearchFilteredCounted(q geom.Rect, filter func(NodeID, geom.Rect) bool, c *storage.Counter, visit func(ObjectID, geom.Rect) bool) {
-	if t.root == InvalidNode || !q.Valid() {
+	t.searchIter(q, filter, nil, c, visit)
+}
+
+// Admitter is the allocation-free variant of the SearchFiltered admission
+// hook: it is consulted with a candidate child's id, the child's MBB (the
+// rectangle stored in the parent entry), and the query before the child is
+// visited; returning false skips the child and saves its I/O. The clipped
+// R-tree layer implements it to run Algorithm 2 with the child's clip points.
+// Unlike a filter closure, an Admitter can be a long-lived value, so a
+// steady-state search performs no heap allocations.
+type Admitter interface {
+	AdmitChild(child NodeID, childMBB geom.Rect, q geom.Rect) bool
+}
+
+// SearchAdmitted is SearchFiltered with the admission test supplied as an
+// Admitter instead of a closure. The root is always visited.
+func (t *Tree) SearchAdmitted(q geom.Rect, adm Admitter, visit func(ObjectID, geom.Rect) bool) {
+	t.searchIter(q, nil, adm, nil, visit)
+}
+
+// SearchAdmittedCounted is SearchAdmitted with the node accesses charged to
+// an explicit counter (the tree's own when c is nil).
+func (t *Tree) SearchAdmittedCounted(q geom.Rect, adm Admitter, c *storage.Counter, visit func(ObjectID, geom.Rect) bool) {
+	t.searchIter(q, nil, adm, c, visit)
+}
+
+// searchScratch is the pooled per-search working state: the explicit DFS
+// stack and the query extents copied into fixed flat arrays so the hot loop
+// compares contiguous memory against contiguous memory.
+type searchScratch struct {
+	stack []NodeID
+	qlo   [geom.MaxDims]float64
+	qhi   [geom.MaxDims]float64
+}
+
+var searchScratchPool = sync.Pool{
+	New: func() interface{} { return &searchScratch{stack: make([]NodeID, 0, 64)} },
+}
+
+// searchIter is the query hot path shared by Search, SearchFiltered,
+// SearchAdmitted, and the batch executor: an iterative depth-first descent
+// over an explicit pooled stack. Children are pushed in reverse entry order,
+// so nodes are processed — and I/O is charged — in exactly the order the
+// previous recursive implementation used; results, visit order, and leaf/
+// directory access counts are bit-identical. In steady state it performs no
+// heap allocations.
+//
+// At most one of filter and adm is non-nil.
+func (t *Tree) searchIter(q geom.Rect, filter func(NodeID, geom.Rect) bool, adm Admitter, c *storage.Counter, visit func(ObjectID, geom.Rect) bool) {
+	if t.root == InvalidNode || !q.Valid() || q.Dims() != t.cfg.Dims {
 		return
 	}
 	if c == nil {
 		c = t.counter
 	}
-	t.searchNode(t.root, q, filter, c, visit)
-}
-
-func (t *Tree) searchNode(id NodeID, q geom.Rect, filter func(NodeID, geom.Rect) bool, c *storage.Counter, visit func(ObjectID, geom.Rect) bool) bool {
-	n := t.node(id)
-	if n == nil {
-		return true // unreadable page on a file-backed tree; recorded in Err
-	}
-	if n.leaf {
-		t.ChargeRead(n.id, true, c)
+	dims := t.cfg.Dims
+	sc := searchScratchPool.Get().(*searchScratch)
+	copy(sc.qlo[:dims], q.Lo)
+	copy(sc.qhi[:dims], q.Hi)
+	stack := append(sc.stack[:0], t.root)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := t.node(id)
+		if n == nil {
+			continue // unreadable page on a file-backed tree; recorded in Err
+		}
+		boxes := n.boxes
+		if n.leaf {
+			t.ChargeRead(n.id, true, c)
+			off := 0
+			for i := range n.entries {
+				if boxHits(boxes, off, dims, &sc.qlo, &sc.qhi) {
+					if !visit(n.entries[i].Object, n.entries[i].Rect) {
+						sc.stack = stack[:0]
+						searchScratchPool.Put(sc)
+						return
+					}
+				}
+				off += 2 * dims
+			}
+			continue
+		}
+		t.ChargeRead(n.id, false, c)
+		base := len(stack)
+		off := 0
 		for i := range n.entries {
-			if n.entries[i].Rect.Intersects(q) {
-				if !visit(n.entries[i].Object, n.entries[i].Rect) {
-					return false
+			if boxHits(boxes, off, dims, &sc.qlo, &sc.qhi) {
+				e := &n.entries[i]
+				switch {
+				case filter != nil && !filter(e.Child, e.Rect):
+				case adm != nil && !adm.AdmitChild(e.Child, e.Rect, q):
+				default:
+					stack = append(stack, e.Child)
 				}
 			}
+			off += 2 * dims
 		}
-		return true
+		// Reverse the admitted children so the first entry is popped first,
+		// preserving the recursive depth-first visit order.
+		for i, j := base, len(stack)-1; i < j; i, j = i+1, j-1 {
+			stack[i], stack[j] = stack[j], stack[i]
+		}
 	}
-	t.ChargeRead(n.id, false, c)
-	for i := range n.entries {
-		e := &n.entries[i]
-		if !e.Rect.Intersects(q) {
-			continue
-		}
-		if filter != nil && !filter(e.Child, e.Rect) {
-			continue
-		}
-		if !t.searchNode(e.Child, q, filter, c, visit) {
+	sc.stack = stack[:0]
+	searchScratchPool.Put(sc)
+}
+
+// boxHits reports whether the entry box starting at boxes[off] (dims Lo
+// extents followed by dims Hi extents) intersects the query extents.
+func boxHits(boxes []float64, off, dims int, qlo, qhi *[geom.MaxDims]float64) bool {
+	for d := 0; d < dims; d++ {
+		if boxes[off+dims+d] < qlo[d] || qhi[d] < boxes[off+d] {
 			return false
 		}
 	}

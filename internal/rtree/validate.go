@@ -47,6 +47,9 @@ func (t *Tree) Validate() error {
 		if len(n.entries) > t.cfg.MaxEntries {
 			return fmt.Errorf("rtree: node %d has %d entries (max %d)", id, len(n.entries), t.cfg.MaxEntries)
 		}
+		if err := t.checkBoxes(n); err != nil {
+			return err
+		}
 		if id != t.root && len(n.entries) < t.cfg.MinEntries {
 			return fmt.Errorf("rtree: node %d has %d entries (min %d)", id, len(n.entries), t.cfg.MinEntries)
 		}
@@ -84,6 +87,27 @@ func (t *Tree) Validate() error {
 	}
 	if objects != t.size {
 		return fmt.Errorf("rtree: reachable objects %d != size %d", objects, t.size)
+	}
+	return nil
+}
+
+// checkBoxes verifies that the node's flat coordinate mirror matches its
+// entry rectangles exactly — the invariant the query hot path relies on.
+func (t *Tree) checkBoxes(n *node) error {
+	dims := t.cfg.Dims
+	if len(n.boxes) != len(n.entries)*2*dims {
+		return fmt.Errorf("rtree: node %d has %d mirror coordinates for %d entries (want %d)",
+			n.id, len(n.boxes), len(n.entries), len(n.entries)*2*dims)
+	}
+	off := 0
+	for i := range n.entries {
+		r := &n.entries[i].Rect
+		for d := 0; d < dims; d++ {
+			if n.boxes[off+d] != r.Lo[d] || n.boxes[off+dims+d] != r.Hi[d] {
+				return fmt.Errorf("rtree: node %d entry %d mirror out of sync with rect %v", n.id, i, *r)
+			}
+		}
+		off += 2 * dims
 	}
 	return nil
 }

@@ -1,86 +1,238 @@
 package storage
 
-import (
-	"container/list"
-	"sync"
-)
+import "sync"
 
 // BufferPool is an LRU page cache used to emulate a bounded main-memory
 // buffer in front of the simulated disk. The scalability experiment
 // (Figure 15 of the paper) starts with a cold buffer and lets the "OS cache"
 // retain recently touched nodes; BufferPool reproduces that behaviour and
 // reports hit/miss counts so experiments can charge a cost to misses.
+//
+// The pool is lock-striped so parallel batch searches do not serialise on a
+// single mutex: pages hash onto independent shards, each holding an
+// intrusive array-based LRU list (bounded pools) or a plain membership set
+// (unbounded pools, where recency is unobservable because nothing is ever
+// evicted). Touch performs no per-access heap allocation in steady state.
+//
+// Sharding semantics: an unbounded pool behaves exactly like a single LRU
+// for any shard count (a page hits iff it was touched before). A bounded
+// pool partitions its capacity across shards, so eviction decisions are
+// per-shard approximations of a global LRU — the standard trade-off of
+// lock-striped caches. Small bounded pools (capacity < 2·64) use a single
+// shard and therefore keep exact global-LRU behaviour, which also keeps the
+// small-pool sweeps of the cold-start experiment exactly reproducible.
 type BufferPool struct {
+	shards []poolShard
+	shift  uint // 64 - log2(len(shards)); used when len(shards) > 1
+}
+
+const (
+	// poolMaxShards is the stripe count of unbounded and large bounded
+	// pools; a power of two so page hashes map onto shards with a shift.
+	poolMaxShards = 16
+	// poolMinShardCap is the smallest per-shard capacity worth splitting
+	// for: below it, eviction behaviour would be dominated by hash noise
+	// rather than recency.
+	poolMinShardCap = 64
+)
+
+// poolShardsFor picks the stripe count: unbounded pools always use the
+// maximum, bounded pools double the stripe count only while every shard
+// keeps at least poolMinShardCap pages.
+func poolShardsFor(capacity int) int {
+	if capacity <= 0 {
+		return poolMaxShards
+	}
+	n := 1
+	for n*2 <= poolMaxShards && capacity/(n*2) >= poolMinShardCap {
+		n *= 2
+	}
+	return n
+}
+
+// poolShard is one stripe: a mutex, the page index, and (for bounded
+// shards) an intrusive doubly linked LRU list threaded through a flat slot
+// array — no container/list, no allocation per touch.
+type poolShard struct {
 	mu       sync.Mutex
-	capacity int
-	lru      *list.List               // front = most recently used
-	index    map[PageID]*list.Element // page id -> lru element
+	capacity int // 0 = unbounded (membership only, no LRU list)
+	index    map[PageID]int32
+	slots    []poolSlot
+	head     int32 // most recently used, -1 when empty
+	tail     int32 // least recently used, -1 when empty
 	hits     int64
 	misses   int64
+	// Pad the 72 bytes of fields above to 128 — two 64-byte cache lines —
+	// so the per-shard mutexes and counters of adjacent shards never share
+	// a cache line under parallel batch search.
+	_ [7]int64
+}
+
+type poolSlot struct {
+	id         PageID
+	prev, next int32
 }
 
 // NewBufferPool creates a pool holding at most capacity pages. A capacity of
 // zero or less means "unbounded" (everything is a hit after first touch).
 func NewBufferPool(capacity int) *BufferPool {
-	return &BufferPool{
-		capacity: capacity,
-		lru:      list.New(),
-		index:    make(map[PageID]*list.Element),
+	return newBufferPool(capacity, poolShardsFor(capacity))
+}
+
+// NewUnshardedBufferPool creates a single-shard pool whose eviction is an
+// exact global LRU at every capacity. Strictly sequential experiments whose
+// reported metric is the miss count itself (the cold-start sweep) use it so
+// the measurement stays an exact LRU simulation; concurrent workloads should
+// prefer NewBufferPool's lock-striped layout.
+func NewUnshardedBufferPool(capacity int) *BufferPool {
+	return newBufferPool(capacity, 1)
+}
+
+func newBufferPool(capacity, shards int) *BufferPool {
+	if capacity < 0 {
+		capacity = 0
 	}
+	b := &BufferPool{shards: make([]poolShard, shards)}
+	for s := shards; s > 1; s >>= 1 {
+		b.shift++
+	}
+	b.shift = 64 - b.shift
+	per, extra := capacity/shards, capacity%shards
+	for i := range b.shards {
+		sh := &b.shards[i]
+		if capacity > 0 {
+			sh.capacity = per
+			if i < extra {
+				sh.capacity++
+			}
+		}
+		sh.index = make(map[PageID]int32)
+		sh.head, sh.tail = -1, -1
+	}
+	return b
+}
+
+// shard maps a page id onto its stripe with a Fibonacci hash, so the
+// sequential page ids of one tree spread evenly.
+func (b *BufferPool) shard(id PageID) *poolShard {
+	if len(b.shards) == 1 {
+		return &b.shards[0]
+	}
+	return &b.shards[(uint64(id)*0x9E3779B97F4A7C15)>>b.shift]
 }
 
 // Touch records an access to the page and reports whether it was a buffer
-// hit. On a miss the page is admitted, possibly evicting the least recently
-// used page.
+// hit. On a miss the page is admitted, possibly evicting the shard's least
+// recently used page.
 func (b *BufferPool) Touch(id PageID) bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if el, ok := b.index[id]; ok {
-		b.lru.MoveToFront(el)
-		b.hits++
+	s := b.shard(id)
+	s.mu.Lock()
+	hit := s.touch(id)
+	s.mu.Unlock()
+	return hit
+}
+
+func (s *poolShard) touch(id PageID) bool {
+	if slot, ok := s.index[id]; ok {
+		s.hits++
+		if s.capacity > 0 && s.head != slot {
+			s.unlink(slot)
+			s.pushFront(slot)
+		}
 		return true
 	}
-	b.misses++
-	el := b.lru.PushFront(id)
-	b.index[id] = el
-	if b.capacity > 0 && b.lru.Len() > b.capacity {
-		victim := b.lru.Back()
-		if victim != nil {
-			b.lru.Remove(victim)
-			delete(b.index, victim.Value.(PageID))
-		}
+	s.misses++
+	if s.capacity == 0 {
+		// Unbounded: membership is all that matters.
+		s.index[id] = 0
+		return false
 	}
+	var slot int32
+	if len(s.slots) < s.capacity {
+		slot = int32(len(s.slots))
+		s.slots = append(s.slots, poolSlot{id: id})
+	} else {
+		// Reuse the least recently used slot.
+		slot = s.tail
+		s.unlink(slot)
+		delete(s.index, s.slots[slot].id)
+		s.slots[slot].id = id
+	}
+	s.pushFront(slot)
+	s.index[id] = slot
 	return false
+}
+
+func (s *poolShard) unlink(slot int32) {
+	sl := &s.slots[slot]
+	if sl.prev >= 0 {
+		s.slots[sl.prev].next = sl.next
+	} else {
+		s.head = sl.next
+	}
+	if sl.next >= 0 {
+		s.slots[sl.next].prev = sl.prev
+	} else {
+		s.tail = sl.prev
+	}
+}
+
+func (s *poolShard) pushFront(slot int32) {
+	sl := &s.slots[slot]
+	sl.prev = -1
+	sl.next = s.head
+	if s.head >= 0 {
+		s.slots[s.head].prev = slot
+	}
+	s.head = slot
+	if s.tail < 0 {
+		s.tail = slot
+	}
 }
 
 // Contains reports whether the page is currently buffered, without updating
 // recency or statistics.
 func (b *BufferPool) Contains(id PageID) bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	_, ok := b.index[id]
+	s := b.shard(id)
+	s.mu.Lock()
+	_, ok := s.index[id]
+	s.mu.Unlock()
 	return ok
 }
 
 // Len returns the number of buffered pages.
 func (b *BufferPool) Len() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.lru.Len()
+	n := 0
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		n += len(s.index)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Stats returns the cumulative hit and miss counts.
 func (b *BufferPool) Stats() (hits, misses int64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.hits, b.misses
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
 }
 
 // Reset empties the pool and zeroes the statistics (a "cold start").
 func (b *BufferPool) Reset() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.lru.Init()
-	b.index = make(map[PageID]*list.Element)
-	b.hits, b.misses = 0, 0
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		s.index = make(map[PageID]int32)
+		s.slots = s.slots[:0]
+		s.head, s.tail = -1, -1
+		s.hits, s.misses = 0, 0
+		s.mu.Unlock()
+	}
 }

@@ -1,0 +1,55 @@
+package storage
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkBufferPoolParallel hammers one shared pool from GOMAXPROCS
+// goroutines, each touching its own page working set plus a shared hot set —
+// the access shape of a parallel batch search, where workers mostly revisit
+// recently faulted nodes. ns/op is the cost of a single Touch under
+// contention.
+func BenchmarkBufferPoolParallel(b *testing.B) {
+	for _, cfg := range []struct {
+		name     string
+		capacity int
+	}{
+		{"unbounded", 0},
+		{"bounded=4096", 4096},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			pool := NewBufferPool(cfg.capacity)
+			var worker int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := atomic.AddInt64(&worker, 1)
+				base := PageID(w * 1 << 20)
+				i := PageID(0)
+				for pb.Next() {
+					// 3 of 4 touches hit a small per-worker set, 1 of 4
+					// walks a long stride, forcing misses and evictions.
+					if i%4 != 0 {
+						pool.Touch(base + i%128)
+					} else {
+						pool.Touch(base + 1<<16 + i)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkBufferPoolTouch is the uncontended single-goroutine cost of Touch
+// on a bounded pool in steady state (working set larger than capacity, so
+// every miss evicts).
+func BenchmarkBufferPoolTouch(b *testing.B) {
+	pool := NewBufferPool(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.Touch(PageID(i%2048 + 1))
+	}
+}

@@ -217,3 +217,21 @@ func TestBufferPoolConcurrency(t *testing.T) {
 		t.Fatalf("lost touches: hits+misses = %d", hits+misses)
 	}
 }
+
+func TestUnshardedBufferPoolExactLRU(t *testing.T) {
+	// At capacity 256 NewBufferPool stripes the pool; the unsharded
+	// constructor must keep exact global-LRU eviction at any capacity.
+	b := NewUnshardedBufferPool(256)
+	for i := 1; i <= 256; i++ {
+		b.Touch(PageID(i))
+	}
+	b.Touch(1)           // page 1 becomes most recent
+	b.Touch(PageID(300)) // must evict page 2, the global LRU victim
+	if !b.Contains(1) || b.Contains(2) || !b.Contains(300) {
+		t.Fatalf("unsharded pool is not an exact LRU: contains(1)=%v contains(2)=%v contains(300)=%v",
+			b.Contains(1), b.Contains(2), b.Contains(300))
+	}
+	if b.Len() != 256 {
+		t.Fatalf("Len %d, want 256", b.Len())
+	}
+}
