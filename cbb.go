@@ -40,29 +40,38 @@
 //
 // # Concurrency
 //
-// A Tree is not safe for concurrent mutation (Insert, Delete, BulkLoad,
-// AttachBufferPool, ResetIOStats), but once construction and updates have
-// finished, any number of goroutines may query it concurrently: Search,
-// SearchAll, Count, NearestNeighbors, BatchSearch, and both spatial joins
-// are safe for concurrent readers. The read path touches only immutable
-// tree and clip-table state, the atomic I/O counters, and the
-// lock-striped optional buffer pool; this guarantee is enforced by
-// race-detector regression tests. BatchSearch and the Workers join option
-// exploit it to fan work out over a goroutine pool while keeping result
-// counts and I/O accounting exactly equal to a sequential run.
+// The engine is single-writer / multi-reader with snapshot isolation,
+// implemented by copy-on-write epoch versioning: every committed mutation
+// clones the nodes (and clip entries) it touches into a writer-private
+// overlay and publishes a new immutable version behind one atomic pointer.
+// Readers never block writers and writers never block readers.
 //
-// File-backed trees opened with Open keep the same reader guarantees: the
-// on-demand page faulting is internally synchronised, so any number of
-// goroutines may run queries concurrently against one file-backed tree with
-// exactly the sequential results and I/O accounting. Mutations follow the
-// usual rule — they must not overlap with queries — and additionally
-// Materialize, Validate (which materializes implicitly), Flush, and Close
-// must not overlap with in-flight queries.
+//   - Queries (Search, SearchAll, Count, NearestNeighbors, BatchSearch,
+//     joins) may run from any number of goroutines at any time — including
+//     concurrently with Insert, Delete, and open batches. Each query loads
+//     the current version once and traverses it lock-free; it sees either
+//     the state before a concurrent commit or after it, never a mix.
+//   - Tree.Snapshot returns a pinned View: a frozen state of the index that
+//     an arbitrarily long sequence of queries (and view-based joins) can
+//     run against while writers keep committing. Close releases it.
+//   - Writers are serialised by an internal writer lock. Tree.Begin opens a
+//     Batch whose mutations are published to readers as one atomic commit.
+//   - AttachBufferPool, DetachBufferPool, ResetIOStats, SaveTo, Stats, and
+//     Validate remain maintenance operations: run them while no writer is
+//     active (they may race with a concurrent mutation's bookkeeping, not
+//     with readers).
+//
+// File-backed trees opened with Open keep the same guarantees; writer
+// durability (Flush, Close) reuses the write-ahead-log commit and never
+// blocks readers. These guarantees are enforced by race-detector regression
+// and stress tests. See the README's "Concurrency model" section.
 package cbb
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"cbb/internal/clipindex"
 	"cbb/internal/core"
@@ -201,15 +210,25 @@ func (o Options) clipParams() core.Params {
 }
 
 // Tree is a spatial index: an R-tree of the configured variant, optionally
-// augmented with clipped bounding boxes. It is not safe for concurrent
-// mutation; concurrent read-only queries (Search, SearchAll, Count,
-// NearestNeighbors, BatchSearch, joins) are safe once construction and
-// updates have finished — see the package documentation's Concurrency
-// section.
+// augmented with clipped bounding boxes. It is single-writer/multi-reader
+// with snapshot isolation: read-only queries (Search, SearchAll, Count,
+// NearestNeighbors, BatchSearch, joins) may run from any number of
+// goroutines at any time, concurrently with mutations, and mutations are
+// serialised internally — see the package documentation's Concurrency
+// section, Snapshot, and Begin.
 type Tree struct {
 	opts Options
 	tree *rtree.Tree
 	idx  *clipindex.Index // nil when clipping is disabled
+
+	// wmu serialises writers (Insert, Delete, BulkLoad, Batch, Flush,
+	// Close): the engine is single-writer/multi-reader, so concurrent
+	// mutators queue here while readers proceed lock-free on published
+	// versions. batchOpen marks that a Batch currently holds wmu, so
+	// Flush/Close can fail fast instead of self-deadlocking when called
+	// from the goroutine that owns the open batch.
+	wmu       sync.Mutex
+	batchOpen atomic.Bool
 
 	// Persistence binding (see persist.go): pager is the on-disk page store
 	// of a tree opened with Open/OpenReadOnly or created with Create.
@@ -247,18 +266,39 @@ func New(opts Options) (*Tree, error) {
 // Options returns the effective configuration of the tree.
 func (t *Tree) Options() Options { return t.opts }
 
+// readVersion returns the version of the last fully published commit: for
+// a clipped tree that is the combined snapshot's version, so structural
+// accessors (Len, Height, Bounds, NearestNeighbors) can never run ahead of
+// what Search observes during the instant a commit is being published.
+func (t *Tree) readVersion() *rtree.Version {
+	if t.idx != nil {
+		return t.idx.Snap().Version()
+	}
+	return t.tree.CurrentVersion()
+}
+
 // Len returns the number of indexed objects.
-func (t *Tree) Len() int { return t.tree.Len() }
+func (t *Tree) Len() int { return t.readVersion().Len() }
 
 // Height returns the number of tree levels (0 when empty).
-func (t *Tree) Height() int { return t.tree.Height() }
+func (t *Tree) Height() int { return t.readVersion().Height() }
 
 // Bounds returns the MBB of all indexed objects (the zero Rect when empty).
-func (t *Tree) Bounds() Rect { return t.tree.Bounds() }
+func (t *Tree) Bounds() Rect { return t.readVersion().Bounds() }
 
 // Insert adds an object with the given rectangle and id. Duplicate ids are
 // permitted but make Delete ambiguous; most applications use unique ids.
+// The insertion is published to readers atomically when Insert returns;
+// concurrent queries and open views are never blocked and never observe a
+// half-applied mutation. Use Begin to batch many mutations into one
+// published epoch.
 func (t *Tree) Insert(r Rect, id ObjectID) error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	return t.insertLocked(r, id)
+}
+
+func (t *Tree) insertLocked(r Rect, id ObjectID) error {
 	if t.idx != nil {
 		_, err := t.idx.Insert(r, id)
 		return err
@@ -268,8 +308,15 @@ func (t *Tree) Insert(r Rect, id ObjectID) error {
 }
 
 // Delete removes the object with the exact rectangle and id. It reports
-// whether the object was found.
+// whether the object was found. Like Insert, the removal is published to
+// readers atomically on return.
 func (t *Tree) Delete(r Rect, id ObjectID) (bool, error) {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	return t.deleteLocked(r, id)
+}
+
+func (t *Tree) deleteLocked(r Rect, id ObjectID) (bool, error) {
 	if t.idx != nil {
 		return t.idx.Delete(r, id)
 	}
@@ -285,6 +332,8 @@ func (t *Tree) Delete(r Rect, id ObjectID) (bool, error) {
 // Sort-Tile-Recursive for the others) and then computes clip points for
 // every node. The tree must be empty.
 func (t *Tree) BulkLoad(items []Item) error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
 	if err := t.tree.BulkLoad(items); err != nil {
 		return err
 	}
@@ -395,7 +444,7 @@ type Neighbor struct {
 // traverses the plain R-tree best-first and works identically whether or not
 // clipping is enabled.
 func (t *Tree) NearestNeighbors(k int, p Point) []Neighbor {
-	raw := t.tree.NearestNeighbors(k, p)
+	raw := t.readVersion().NearestNeighbors(k, p)
 	out := make([]Neighbor, len(raw))
 	for i, n := range raw {
 		out[i] = Neighbor{Object: n.Object, Rect: n.Rect, DistSq: n.DistSq}

@@ -91,11 +91,15 @@ func main() {
 // in-use page must be referenced exactly once (superblock, node page, node
 // index, or clip table), the free-page list must be disjoint from the
 // referenced set, and a leftover write-ahead log is decoded and reported.
+//
+// The file is opened strictly read-only: inspection never modifies the
+// snapshot, and a pending write-ahead log is reported — and replayed only
+// into memory, so reads see the committed state — but never consumed.
+// (Previously the inspector opened read-write, which replayed and deleted a
+// pending WAL as a side effect of merely looking at the file.)
 func inspectSnapshot(path string, samples int, seed int64, verify bool) error {
-	// The WAL must be looked at before the open below replays (or discards)
-	// it, or the report would always say "none".
 	walState := describeWAL(storage.WALPathFor(path))
-	snap, fp, err := snapshot.OpenFile(path)
+	snap, fp, err := snapshot.OpenFileReadOnly(path)
 	if err != nil {
 		return err
 	}
@@ -129,11 +133,11 @@ func describeWAL(walPath string) string {
 	info, err := storage.ReadWALFile(walPath)
 	switch {
 	case err == nil:
-		return fmt.Sprintf("committed transaction pending replay (%d page records, %d slots)", len(info.Records), info.SlotCount)
+		return fmt.Sprintf("committed transaction pending replay (%d page records, %d slots; inspection reads the committed state, the log is left for the next writable open)", len(info.Records), info.SlotCount)
 	case os.IsNotExist(err):
 		return "none (clean shutdown)"
 	case errors.Is(err, storage.ErrWALTorn):
-		return "torn (interrupted before commit; discarded on open)"
+		return "torn (interrupted before commit; will be discarded by the next writable open)"
 	default:
 		return fmt.Sprintf("invalid: %v", err)
 	}

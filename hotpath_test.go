@@ -58,6 +58,19 @@ func TestSearchZeroAllocs(t *testing.T) {
 			if allocs != 0 {
 				t.Errorf("steady-state Search (%s) allocates %.1f times per query, want 0", cm, allocs)
 			}
+
+			// The same guarantee holds on a pinned snapshot view — the
+			// version load happens once at Snapshot time, and the scan loop
+			// performs no locking, no atomics, and no allocation.
+			v := tree.Snapshot()
+			defer v.Close()
+			allocs = testing.AllocsPerRun(100, func() {
+				v.Search(queries[i%len(queries)], visit)
+				i++
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state View.Search (%s) allocates %.1f times per query, want 0", cm, allocs)
+			}
 		})
 	}
 }

@@ -16,6 +16,7 @@ package clipindex
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"cbb/internal/core"
 	"cbb/internal/geom"
@@ -150,47 +151,203 @@ func (s *clipStore) del(id rtree.NodeID) {
 	delete(s.spill, id)
 }
 
-func (s *clipStore) reset() {
-	for i := range s.dense {
-		s.dense[i] = nil
-	}
-	s.dense = s.dense[:0]
-	s.spill = nil
-}
-
 // Index is a clipped R-tree: an rtree.Tree of any variant plus a clip table
 // and the parameters used to maintain it. The authoritative table (the
 // serialised Figure 4b form) and the dense admission mirror are kept in sync
 // through setClips/delClips.
+//
+// Like the underlying tree, the Index is copy-on-write versioned: the
+// writer maintains the table and the dense mirror privately and publishes
+// them together with the tree's committed version as one Snap, loaded
+// atomically (once per query) by every read path. Readers therefore always
+// see clip points and nodes of the same epoch — a clip point computed for a
+// newer node generation can never prune a query running against an older
+// one.
 type Index struct {
 	tree   *rtree.Tree
 	params core.Params
 	table  Table
 	store  clipStore
-	stats  UpdateStats
+	// storeShared marks that the dense mirror's backing arrays are
+	// referenced by the published Snap and must be copied before the next
+	// mutation (the clip-side analogue of the tree's detach step).
+	storeShared bool
+	cur         atomic.Pointer[Snap]
+	stats       UpdateStats
+}
+
+// Snap is an epoch-consistent read snapshot of a clipped tree: the tree
+// version and the clip mirrors published by the same commit. It implements
+// the same read surface the Index offers (Search, SearchCounted, Clips,
+// AdmitChild) against exactly that epoch, and is safe for any number of
+// concurrent readers regardless of writer activity.
+type Snap struct {
+	v     *rtree.Version
+	dense [][]core.ClipPoint
+	spill map[rtree.NodeID][]core.ClipPoint
+}
+
+// Version returns the tree version the snapshot is bound to.
+func (s *Snap) Version() *rtree.Version { return s.v }
+
+// Clips returns the clip points of the node at the snapshot's epoch (nil
+// when it has none, or when s itself is nil, so join code can hold an
+// optional *Snap without guarding every lookup).
+func (s *Snap) Clips(id rtree.NodeID) []core.ClipPoint {
+	if s == nil {
+		return nil
+	}
+	if uint64(id) < uint64(len(s.dense)) {
+		return s.dense[id]
+	}
+	return s.spill[id]
+}
+
+// AdmitChild is the Algorithm-2 admission test bound to the snapshot's
+// epoch; it implements rtree.Admitter for the clipped search below.
+func (s *Snap) AdmitChild(child rtree.NodeID, childMBB geom.Rect, q geom.Rect) bool {
+	clips := s.Clips(child)
+	if len(clips) == 0 {
+		return true
+	}
+	return core.Intersects(childMBB, clips, q, core.SelectorQuery)
+}
+
+// Search finds every object intersecting q at the snapshot's epoch, using
+// its clip points to skip child nodes whose overlap with q is entirely dead
+// space.
+func (s *Snap) Search(q geom.Rect, visit func(rtree.ObjectID, geom.Rect) bool) {
+	s.SearchCounted(q, nil, visit)
+}
+
+// SearchCounted is Search with the node accesses charged to an explicit
+// counter instead of the tree's own (the tree's counter when c is nil). It
+// satisfies the batch executor's Searcher contract.
+func (s *Snap) SearchCounted(q geom.Rect, c *storage.Counter, visit func(rtree.ObjectID, geom.Rect) bool) {
+	v := s.v
+	if v.RootID() == rtree.InvalidNode || !q.Valid() || q.Dims() != v.Dims() {
+		return
+	}
+	// The root's own MBB and clip points can prune the query outright,
+	// before any I/O is charged.
+	if !v.RootMBBIntersects(q) {
+		return
+	}
+	if core.QueryDead(s.Clips(v.RootID()), q) {
+		return
+	}
+	v.SearchAdmittedCounted(q, s, c, visit)
+}
+
+// ensurePrivateStore detaches the dense mirror from the published snapshot:
+// the outer slice and the spill map are copied so the snapshot's readers
+// keep an untouched view while the writer mutates its own. The inner
+// []core.ClipPoint slices are immutable once installed (every reclip builds
+// a fresh slice), so they are shared freely across snapshots.
+func (x *Index) ensurePrivateStore() {
+	if !x.storeShared {
+		return
+	}
+	x.store.dense = append([][]core.ClipPoint(nil), x.store.dense...)
+	if x.store.spill != nil {
+		spill := make(map[rtree.NodeID][]core.ClipPoint, len(x.store.spill))
+		for id, clips := range x.store.spill {
+			spill[id] = clips
+		}
+		x.store.spill = spill
+	}
+	x.storeShared = false
+}
+
+// publish stores a new combined snapshot pairing the tree's current
+// committed version with the writer's clip mirrors, and marks the mirrors
+// shared (copy-on-write for the next batch).
+func (x *Index) publish() {
+	x.cur.Store(&Snap{v: x.tree.CurrentVersion(), dense: x.store.dense, spill: x.store.spill})
+	x.storeShared = true
+}
+
+// publishIfAuto publishes unless an explicit batch is open (Commit will
+// publish then).
+func (x *Index) publishIfAuto() {
+	if !x.tree.InBatch() {
+		x.publish()
+	}
+}
+
+// Snap returns the current combined snapshot (one atomic load, unpinned).
+func (x *Index) Snap() *Snap { return x.cur.Load() }
+
+// PinSnap returns the current combined snapshot with its tree version
+// pinned, for long-lived read views; release it with Snap.Version().Unpin().
+func (x *Index) PinSnap() *Snap {
+	for {
+		s := x.cur.Load()
+		s.v.Pin()
+		if x.cur.Load() == s {
+			return s
+		}
+		s.v.Unpin()
+	}
+}
+
+// Begin opens an explicit writer batch on the underlying tree: mutations
+// accumulate privately and reach readers only at Commit, as one atomic
+// snapshot switch.
+func (x *Index) Begin() error { return x.tree.BeginBatch() }
+
+// Commit publishes every mutation since Begin — node and clip state together
+// — as one new epoch.
+func (x *Index) Commit() {
+	x.tree.CommitBatch()
+	x.publish()
+}
+
+// Rollback discards every mutation since Begin: the tree batch is rolled
+// back, and the writer's clip table and mirrors are restored from the last
+// published snapshot. Readers never saw any of it. The advisory update
+// statistics (Stats) are not unwound.
+func (x *Index) Rollback() {
+	x.tree.RollbackBatch()
+	s := x.cur.Load()
+	x.store.dense = s.dense
+	x.store.spill = s.spill
+	x.storeShared = true // next mutation copies before touching the mirrors
+	table := make(Table, len(s.spill)+len(s.dense)/8)
+	for id, clips := range s.dense {
+		if len(clips) > 0 {
+			table[rtree.NodeID(id)] = clips
+		}
+	}
+	for id, clips := range s.spill {
+		table[id] = clips
+	}
+	x.table = table
 }
 
 // setClips installs a node's clip points in both the table and the dense
 // admission mirror.
 func (x *Index) setClips(id rtree.NodeID, clips []core.ClipPoint) {
+	x.ensurePrivateStore()
 	x.table[id] = clips
 	x.store.set(id, clips)
 }
 
 // delClips removes a node's clip points from both representations.
 func (x *Index) delClips(id rtree.NodeID) {
+	x.ensurePrivateStore()
 	delete(x.table, id)
 	x.store.del(id)
 }
 
-// Clips returns the clip points of the node (nil when it has none), through
-// the dense admission mirror. A nil Index returns nil, so join code can hold
+// Clips returns the clip points of the node (nil when it has none) at the
+// last published snapshot. A nil Index returns nil, so join code can hold
 // an optional *Index without guarding every lookup.
 func (x *Index) Clips(id rtree.NodeID) []core.ClipPoint {
 	if x == nil {
 		return nil
 	}
-	return x.store.get(id)
+	return x.cur.Load().Clips(id)
 }
 
 // New wraps an existing tree (already built, possibly empty) and computes
@@ -227,6 +384,7 @@ func Restore(tree *rtree.Tree, params core.Params, table Table) (*Index, error) 
 	for id, clips := range table {
 		x.store.set(id, clips)
 	}
+	x.publish()
 	return x, nil
 }
 
@@ -250,13 +408,18 @@ func (x *Index) Len() int { return x.tree.Len() }
 
 // RebuildAll recomputes the clip points of every node from scratch
 // (Algorithm 1 applied to each node, as done when a freshly built R-tree is
-// clipped before its nodes are flushed to disk).
+// clipped before its nodes are flushed to disk), and publishes the result
+// (unless an explicit batch is open, whose Commit publishes instead).
 func (x *Index) RebuildAll() {
 	x.table = make(Table)
-	x.store.reset()
+	// Published snapshots keep referencing the old mirrors; the rebuild
+	// starts from a fresh private store rather than wiping them in place.
+	x.store = clipStore{}
+	x.storeShared = false
 	x.tree.Walk(func(info rtree.NodeInfo) {
 		x.reclipNode(info)
 	})
+	x.publishIfAuto()
 }
 
 // reclipNode recomputes one node's clip points from a node snapshot.
@@ -289,9 +452,9 @@ func (x *Index) reclipByID(id rtree.NodeID) {
 // nodes whose overlap with q is entirely dead space. Results are identical
 // to an unclipped search; only the I/O differs.
 //
-// Like the underlying tree's Search, it is safe for any number of concurrent
-// readers once construction and updates have finished: the search reads only
-// the immutable clip table and node state.
+// It is safe for any number of concurrent readers at any time, including
+// while the single writer mutates: the query runs against one atomically
+// loaded Snap (immutable tree version + clip mirrors of the same epoch).
 func (x *Index) Search(q geom.Rect, visit func(rtree.ObjectID, geom.Rect) bool) {
 	x.SearchCounted(q, nil, visit)
 }
@@ -299,21 +462,10 @@ func (x *Index) Search(q geom.Rect, visit func(rtree.ObjectID, geom.Rect) bool) 
 // SearchCounted is Search with the node accesses charged to an explicit
 // counter instead of the tree's own (the tree's counter when c is nil), the
 // hook parallel executors use to give each worker goroutine private I/O
-// accounting.
+// accounting. One combined snapshot — tree version plus clip mirrors of the
+// same epoch — is loaded atomically at entry and pins the whole traversal.
 func (x *Index) SearchCounted(q geom.Rect, c *storage.Counter, visit func(rtree.ObjectID, geom.Rect) bool) {
-	root := x.tree.RootID()
-	if root == rtree.InvalidNode || !q.Valid() || q.Dims() != x.tree.Dims() {
-		return
-	}
-	// The root's own MBB and clip points can prune the query outright,
-	// before any I/O is charged.
-	if !x.tree.RootMBBIntersects(q) {
-		return
-	}
-	if core.QueryDead(x.store.get(root), q) {
-		return
-	}
-	x.tree.SearchAdmittedCounted(q, x, c, visit)
+	x.cur.Load().SearchCounted(q, c, visit)
 }
 
 // AdmitChild is the Algorithm-2 admission test the clipped search runs before
@@ -321,13 +473,11 @@ func (x *Index) SearchCounted(q geom.Rect, c *storage.Counter, visit func(rtree.
 // the query's overlap with the child's MBB may contain live space. A child
 // with no clip points is always admitted. The clip lookup is a dense slice
 // load and the dominance tests allocate nothing, so admission costs an index
-// load plus a handful of float comparisons per clip point.
+// load plus a handful of float comparisons per clip point. It consults the
+// last published snapshot; query paths use the Snap's own AdmitChild so one
+// query never mixes epochs.
 func (x *Index) AdmitChild(child rtree.NodeID, childMBB geom.Rect, q geom.Rect) bool {
-	clips := x.store.get(child)
-	if len(clips) == 0 {
-		return true
-	}
-	return core.Intersects(childMBB, clips, q, core.SelectorQuery)
+	return x.cur.Load().AdmitChild(child, childMBB, q)
 }
 
 // Count returns the number of objects intersecting q using the clipped
@@ -411,6 +561,7 @@ func (x *Index) Insert(r geom.Rect, obj rtree.ObjectID) ([]ReclipCause, error) {
 	// grew (child MBB change could intrude into the parent's clipped
 	// corners): validity-check them against the grown child rectangles.
 	x.checkAncestors(trace, reclip)
+	x.publishIfAuto()
 	return causes, nil
 }
 
@@ -454,6 +605,7 @@ func (x *Index) Delete(r geom.Rect, obj rtree.ObjectID) (bool, error) {
 		return false, err
 	}
 	if !trace.Found {
+		x.publishIfAuto()
 		return false, nil
 	}
 	x.stats.Deletes++
@@ -511,6 +663,7 @@ func (x *Index) Delete(r geom.Rect, obj rtree.ObjectID) (bool, error) {
 	if len(reclipped) == 0 {
 		x.stats.DeletesNoReclip++
 	}
+	x.publishIfAuto()
 	return true, nil
 }
 

@@ -15,6 +15,7 @@ package join
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -43,6 +44,56 @@ type Result struct {
 	IO storage.Snapshot
 }
 
+// Side binds one join input to an epoch-consistent snapshot: the tree (for
+// configuration and I/O accounting), the immutable tree version traversed,
+// and — when the input is clipped — the clip snapshot of the same epoch.
+// Bind resolves a live input to its current committed state; the cbb layer
+// builds Sides from pinned read views so whole joins run against one
+// snapshot regardless of concurrent writers.
+type Side struct {
+	Tree *rtree.Tree
+	V    *rtree.Version
+	Snap *clipindex.Snap
+}
+
+// Bind resolves a (tree, optional clip index) input to its last committed
+// snapshot. For a clipped input the tree version is taken from the clip
+// snapshot, so nodes and clip points are guaranteed to share an epoch.
+func Bind(tree *rtree.Tree, idx *clipindex.Index) Side {
+	if idx != nil {
+		s := idx.Snap()
+		return Side{Tree: tree, V: s.Version(), Snap: s}
+	}
+	return Side{Tree: tree, V: tree.CurrentVersion()}
+}
+
+// validate checks that the side's pieces belong together.
+func (s *Side) validate(name string) error {
+	if s.Tree == nil || s.V == nil {
+		return fmt.Errorf("join: %s input is not bound to a tree snapshot", name)
+	}
+	if s.V.Tree() != s.Tree {
+		return fmt.Errorf("join: %s version does not belong to the %s tree", name, name)
+	}
+	if s.Snap != nil && s.Snap.Version() != s.V {
+		return fmt.Errorf("join: %s clip snapshot is from a different epoch than the %s version", name, name)
+	}
+	return nil
+}
+
+// search runs one range query against the side's snapshot (clipped when the
+// side has a clip snapshot), charging node accesses to c.
+func (s *Side) search(q geom.Rect, c *storage.Counter, visit func(rtree.ObjectID, geom.Rect) bool) {
+	if s.Snap != nil {
+		s.Snap.SearchCounted(q, c, visit)
+		return
+	}
+	s.V.SearchCounted(q, c, visit)
+}
+
+// clips returns the side's clip points for a node (nil when unclipped).
+func (s *Side) clips(id rtree.NodeID) []core.ClipPoint { return s.Snap.Clips(id) }
+
 // INLJ performs an index nested loop join: every probe rectangle is run as a
 // range query against the indexed (and optionally clipped) input. When idx
 // is nil the plain tree is probed; otherwise the clipped search path is
@@ -64,6 +115,17 @@ func PINLJ(tree *rtree.Tree, idx *clipindex.Index, probes []rtree.Item, workers 
 	if idx != nil && idx.Tree() != tree {
 		return Result{}, errors.New("join: clip index does not belong to the probed tree")
 	}
+	return PINLJSide(Bind(tree, idx), probes, workers, visit)
+}
+
+// PINLJSide is PINLJ against an explicitly bound snapshot of the indexed
+// input — the entry point of view-based joins: every probe runs against the
+// same pinned epoch, so the result is exactly what a fully quiesced tree at
+// that epoch would produce even while a writer commits concurrently.
+func PINLJSide(in Side, probes []rtree.Item, workers int, visit func(Pair)) (Result, error) {
+	if err := in.validate("indexed"); err != nil {
+		return Result{}, err
+	}
 	workers = parallel.EffectiveWorkers(workers, len(probes))
 	if len(probes) == 0 {
 		return Result{}, nil
@@ -76,18 +138,13 @@ func PINLJ(tree *rtree.Tree, idx *clipindex.Index, probes []rtree.Item, workers 
 		var local int64
 		for i := start; i < end; i++ {
 			probe := probes[i]
-			found := func(id rtree.ObjectID, _ geom.Rect) bool {
+			in.search(probe.Rect, c, func(id rtree.ObjectID, _ geom.Rect) bool {
 				local++
 				if emit != nil {
 					emit(Pair{Left: id, Right: probe.Object})
 				}
 				return true
-			}
-			if idx != nil {
-				idx.SearchCounted(probe.Rect, c, found)
-			} else {
-				tree.SearchCounted(probe.Rect, c, found)
-			}
+			})
 		}
 		atomic.AddInt64(&pairs, local)
 	})
@@ -96,7 +153,7 @@ func PINLJ(tree *rtree.Tree, idx *clipindex.Index, probes []rtree.Item, workers 
 	for _, s := range snapshots {
 		res.IO = res.IO.Add(s)
 	}
-	tree.Counter().Add(res.IO)
+	in.Tree.Counter().Add(res.IO)
 	return res, nil
 }
 
@@ -125,23 +182,36 @@ func PSTT(left, right *rtree.Tree, leftIdx, rightIdx *clipindex.Index, workers i
 	if left == nil || right == nil {
 		return Result{}, errors.New("join: STT requires two indexed inputs")
 	}
-	if left.Dims() != right.Dims() {
-		return Result{}, errors.New("join: dimensionality mismatch")
-	}
 	if leftIdx != nil && leftIdx.Tree() != left {
 		return Result{}, errors.New("join: left clip index does not belong to the left tree")
 	}
 	if rightIdx != nil && rightIdx.Tree() != right {
 		return Result{}, errors.New("join: right clip index does not belong to the right tree")
 	}
-	if left.RootID() == rtree.InvalidNode || right.RootID() == rtree.InvalidNode {
+	return PSTTSides(Bind(left, leftIdx), Bind(right, rightIdx), workers, visit)
+}
+
+// PSTTSides is PSTT against two explicitly bound snapshots — the entry point
+// of view-based joins: both traversals run against pinned epochs, one per
+// input, unaffected by concurrent writer commits on either tree.
+func PSTTSides(ls, rs Side, workers int, visit func(Pair)) (Result, error) {
+	if err := ls.validate("left"); err != nil {
+		return Result{}, err
+	}
+	if err := rs.validate("right"); err != nil {
+		return Result{}, err
+	}
+	if ls.Tree.Dims() != rs.Tree.Dims() {
+		return Result{}, errors.New("join: dimensionality mismatch")
+	}
+	if ls.V.RootID() == rtree.InvalidNode || rs.V.RootID() == rtree.InvalidNode {
 		return Result{}, nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	shared := left.Counter() == right.Counter()
+	shared := ls.Tree.Counter() == rs.Tree.Counter()
 	// newJoiner builds a traversal state charging private counters; leftCtr
 	// may be supplied (the per-worker counter of ForEachChunk) or nil for a
 	// fresh one. With a shared tree counter one private counter receives
@@ -151,11 +221,10 @@ func PSTT(left, right *rtree.Tree, leftIdx, rightIdx *clipindex.Index, workers i
 			leftCtr = &storage.Counter{}
 		}
 		j := &sttJoiner{
-			left: left, right: right,
-			leftIdx:  leftIdx,
-			rightIdx: rightIdx,
-			visit:    emit,
-			leftCtr:  leftCtr,
+			left:    ls,
+			right:   rs,
+			visit:   emit,
+			leftCtr: leftCtr,
 		}
 		if shared {
 			j.rightCtr = j.leftCtr
@@ -176,27 +245,27 @@ func PSTT(left, right *rtree.Tree, leftIdx, rightIdx *clipindex.Index, workers i
 				rightIO = rightIO.Add(j.rightCtr.Snapshot())
 			}
 		}
-		left.Counter().Add(leftIO)
+		ls.Tree.Counter().Add(leftIO)
 		if !shared {
-			right.Counter().Add(rightIO)
+			rs.Tree.Counter().Add(rightIO)
 		}
 		res.IO = leftIO.Add(rightIO)
 		return res
 	}
 
-	linfo, lerr := left.Node(left.RootID())
-	rinfo, rerr := right.Node(right.RootID())
+	linfo, lerr := ls.V.Node(ls.V.RootID())
+	rinfo, rerr := rs.V.Node(rs.V.RootID())
 	if workers <= 1 || lerr != nil || rerr != nil || linfo.Leaf || rinfo.Leaf {
 		j := newJoiner(visit, nil)
-		j.joinNodes(left.RootID(), right.RootID())
+		j.joinNodes(ls.V.RootID(), rs.V.RootID())
 		return finalize(j), nil
 	}
 
 	// The sequential traversal reads both roots, then recurses into every
 	// admissible pair of root children; partition exactly those pairs.
 	root := newJoiner(nil, nil)
-	root.chargeRead(left, linfo)
-	root.chargeRead(right, rinfo)
+	root.chargeLeft(linfo)
+	root.chargeRight(rinfo)
 	type task struct{ l, r rtree.NodeID }
 	var tasks []task
 	for i := range linfo.Children {
@@ -249,11 +318,11 @@ func serializedVisit(visit func(Pair), workers int) func(Pair) {
 }
 
 type sttJoiner struct {
-	left, right *rtree.Tree
-	// leftIdx and rightIdx are the optional clip indexes of the two inputs;
-	// clip points are looked up through Index.Clips, the dense admission
-	// path (nil-safe on a nil index).
-	leftIdx, rightIdx *clipindex.Index
+	// left and right are the two inputs, each bound to one epoch-consistent
+	// snapshot (tree version plus optional clip snapshot); clip points are
+	// looked up through Side.clips, the dense admission path (nil-safe on
+	// an unclipped side).
+	left, right Side
 	// leftCtr and rightCtr receive the node accesses of the respective tree;
 	// they point at the same counter when the trees share one.
 	leftCtr, rightCtr *storage.Counter
@@ -268,12 +337,12 @@ func (j *sttJoiner) admissible(leftID rtree.NodeID, leftMBB geom.Rect, rightID r
 	if !leftMBB.Intersects(rightMBB) {
 		return false
 	}
-	if clips := j.leftIdx.Clips(leftID); len(clips) > 0 {
+	if clips := j.left.clips(leftID); len(clips) > 0 {
 		if !core.Intersects(leftMBB, clips, rightMBB, core.SelectorQuery) {
 			return false
 		}
 	}
-	if clips := j.rightIdx.Clips(rightID); len(clips) > 0 {
+	if clips := j.right.clips(rightID); len(clips) > 0 {
 		if !core.Intersects(rightMBB, clips, leftMBB, core.SelectorQuery) {
 			return false
 		}
@@ -282,16 +351,16 @@ func (j *sttJoiner) admissible(leftID rtree.NodeID, leftMBB geom.Rect, rightID r
 }
 
 func (j *sttJoiner) joinNodes(leftID, rightID rtree.NodeID) {
-	linfo, err := j.left.Node(leftID)
+	linfo, err := j.left.V.Node(leftID)
 	if err != nil {
 		return
 	}
-	rinfo, err := j.right.Node(rightID)
+	rinfo, err := j.right.V.Node(rightID)
 	if err != nil {
 		return
 	}
-	j.chargeRead(j.left, linfo)
-	j.chargeRead(j.right, rinfo)
+	j.chargeLeft(linfo)
+	j.chargeRight(rinfo)
 
 	switch {
 	case linfo.Leaf && rinfo.Leaf:
@@ -310,14 +379,14 @@ func (j *sttJoiner) joinNodes(leftID, rightID rtree.NodeID) {
 		for k := range rinfo.Children {
 			child := rinfo.Children[k]
 			if j.admissible(linfo.ID, linfo.MBB, child.Child, child.Rect) {
-				j.joinLeafWithNode(linfo, j.right, child.Child, j.rightIdx)
+				j.joinLeafWithNode(linfo, &j.right, child.Child)
 			}
 		}
 	case rinfo.Leaf:
 		for i := range linfo.Children {
 			child := linfo.Children[i]
 			if j.admissible(child.Child, child.Rect, rinfo.ID, rinfo.MBB) {
-				j.joinNodeWithLeaf(j.left, child.Child, j.leftIdx, rinfo)
+				j.joinNodeWithLeaf(&j.left, child.Child, rinfo)
 			}
 		}
 	default:
@@ -333,13 +402,13 @@ func (j *sttJoiner) joinNodes(leftID, rightID rtree.NodeID) {
 }
 
 // joinLeafWithNode joins an already-loaded leaf with a (possibly deeper)
-// subtree of the other tree.
-func (j *sttJoiner) joinLeafWithNode(leaf rtree.NodeInfo, other *rtree.Tree, otherID rtree.NodeID, otherIdx *clipindex.Index) {
-	oinfo, err := other.Node(otherID)
+// subtree of the other side.
+func (j *sttJoiner) joinLeafWithNode(leaf rtree.NodeInfo, other *Side, otherID rtree.NodeID) {
+	oinfo, err := other.V.Node(otherID)
 	if err != nil {
 		return
 	}
-	j.chargeRead(other, oinfo)
+	j.chargeSide(other, oinfo)
 	if oinfo.Leaf {
 		for i := range leaf.Children {
 			for k := range oinfo.Children {
@@ -358,22 +427,22 @@ func (j *sttJoiner) joinLeafWithNode(leaf rtree.NodeInfo, other *rtree.Tree, oth
 		if !leaf.MBB.Intersects(child.Rect) {
 			continue
 		}
-		if clips := otherIdx.Clips(child.Child); len(clips) > 0 {
+		if clips := other.clips(child.Child); len(clips) > 0 {
 			if !core.Intersects(child.Rect, clips, leaf.MBB, core.SelectorQuery) {
 				continue
 			}
 		}
-		j.joinLeafWithNode(leaf, other, child.Child, otherIdx)
+		j.joinLeafWithNode(leaf, other, child.Child)
 	}
 }
 
 // joinNodeWithLeaf mirrors joinLeafWithNode with the leaf on the right.
-func (j *sttJoiner) joinNodeWithLeaf(other *rtree.Tree, otherID rtree.NodeID, otherIdx *clipindex.Index, leaf rtree.NodeInfo) {
-	oinfo, err := other.Node(otherID)
+func (j *sttJoiner) joinNodeWithLeaf(other *Side, otherID rtree.NodeID, leaf rtree.NodeInfo) {
+	oinfo, err := other.V.Node(otherID)
 	if err != nil {
 		return
 	}
-	j.chargeRead(other, oinfo)
+	j.chargeSide(other, oinfo)
 	if oinfo.Leaf {
 		for i := range oinfo.Children {
 			for k := range leaf.Children {
@@ -392,19 +461,30 @@ func (j *sttJoiner) joinNodeWithLeaf(other *rtree.Tree, otherID rtree.NodeID, ot
 		if !child.Rect.Intersects(leaf.MBB) {
 			continue
 		}
-		if clips := otherIdx.Clips(child.Child); len(clips) > 0 {
+		if clips := other.clips(child.Child); len(clips) > 0 {
 			if !core.Intersects(child.Rect, clips, leaf.MBB, core.SelectorQuery) {
 				continue
 			}
 		}
-		j.joinNodeWithLeaf(other, child.Child, otherIdx, leaf)
+		j.joinNodeWithLeaf(other, child.Child, leaf)
 	}
 }
 
-func (j *sttJoiner) chargeRead(t *rtree.Tree, info rtree.NodeInfo) {
-	c := j.rightCtr
-	if t == j.left {
-		c = j.leftCtr
+func (j *sttJoiner) chargeLeft(info rtree.NodeInfo) {
+	j.left.Tree.ChargeRead(info.ID, info.Leaf, j.leftCtr)
+}
+
+func (j *sttJoiner) chargeRight(info rtree.NodeInfo) {
+	j.right.Tree.ChargeRead(info.ID, info.Leaf, j.rightCtr)
+}
+
+// chargeSide charges a node access of one side to that side's counter; the
+// side pointer identifies left vs right even in a self-join, where both
+// sides hold the same tree.
+func (j *sttJoiner) chargeSide(s *Side, info rtree.NodeInfo) {
+	if s == &j.left {
+		j.chargeLeft(info)
+		return
 	}
-	t.ChargeRead(info.ID, info.Leaf, c)
+	j.chargeRight(info)
 }

@@ -24,6 +24,8 @@ func (t *Tree) BulkLoad(items []Item) (err error) {
 	if err := t.ensureMutable(); err != nil {
 		return err
 	}
+	t.beginMutation()
+	defer func() { t.autoCommit(err) }()
 	defer recoverFault(&err)
 	if t.size != 0 || t.root != InvalidNode {
 		return fmt.Errorf("rtree: BulkLoad requires an empty tree")

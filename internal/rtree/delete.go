@@ -49,6 +49,8 @@ func (t *Tree) Delete(r geom.Rect, obj ObjectID) (trace *DeleteTrace, err error)
 	if !r.Valid() || r.Dims() != t.cfg.Dims {
 		return nil, fmt.Errorf("rtree: invalid rectangle %v for a %d-dimensional tree", r, t.cfg.Dims)
 	}
+	t.beginMutation()
+	defer func() { t.autoCommit(err) }()
 	defer recoverFault(&err)
 	trace = &DeleteTrace{Leaf: InvalidNode}
 	if t.root == InvalidNode {
@@ -61,6 +63,7 @@ func (t *Tree) Delete(r geom.Rect, obj ObjectID) (trace *DeleteTrace, err error)
 	}
 	trace.Found = true
 	trace.Leaf = leaf.id
+	leaf = t.mutable(leaf)
 	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
 	t.touch(leaf)
 	t.size--
@@ -131,6 +134,7 @@ func (t *Tree) condense(n *node, trace *DeleteTrace) {
 		if len(cur.entries) < t.cfg.MinEntries {
 			// Dissolve the node: remove it from the parent and queue its
 			// entries for re-insertion.
+			parent = t.mutable(parent)
 			parent.entries = append(parent.entries[:idx], parent.entries[idx+1:]...)
 			t.touch(parent)
 			for _, e := range cur.entries {
@@ -141,6 +145,7 @@ func (t *Tree) condense(n *node, trace *DeleteTrace) {
 		} else {
 			newMBB := cur.mbb()
 			if !parent.entries[idx].Rect.Equal(newMBB) {
+				parent = t.mutable(parent)
 				parent.entries[idx].Rect = newMBB
 				t.touch(parent)
 				trace.markMBBChanged(cur.id)

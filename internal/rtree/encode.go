@@ -222,6 +222,7 @@ func Load(cfg Config, p storage.PageStore, root storage.PageID, pages map[NodeID
 			}
 		}
 	}
+	t.publish()
 	return t, nil
 }
 
@@ -281,6 +282,7 @@ func OpenPaged(cfg Config, store storage.PageStore, pages map[NodeID]storage.Pag
 		}
 		// An empty tree has nothing to hydrate; it is born mutable.
 		t.src.hydrated = true
+		t.publish()
 		return t, nil
 	}
 	if _, ok := pages[root]; !ok {
@@ -297,6 +299,9 @@ func OpenPaged(cfg Config, store storage.PageStore, pages map[NodeID]storage.Pag
 	t.root = root
 	t.size = size
 	t.height = height
+	// Publish the initial (lazy) version: readers fault nodes in on demand
+	// from this epoch's page map until the first mutation hydrates the tree.
+	t.publish()
 	return t, nil
 }
 
@@ -347,12 +352,27 @@ func (t *Tree) FlushDirty() (storage.PageID, map[NodeID]storage.PageID, func(), 
 	if t.src.readonly {
 		return storage.InvalidPage, nil, nil, ErrReadOnly
 	}
+	if t.inBatch {
+		// A mid-batch flush would persist (and make undo of) uncommitted
+		// state; the batch must Commit or Rollback first.
+		return storage.InvalidPage, nil, nil, errors.New("rtree: FlushDirty inside an open batch")
+	}
 	src := t.src
 	// Release pages of dissolved nodes first so their slots are available
-	// for reuse by the allocations below.
-	for _, pid := range src.freed {
-		if err := src.store.Free(pid); err != nil {
-			return storage.InvalidPage, nil, nil, fmt.Errorf("rtree: releasing page %d: %w", pid, err)
+	// for reuse by the allocations below — but only pages no pinned read
+	// view can still reference: a page freed by the batch that committed
+	// epoch E stays on the deferred list while any pinned version is older
+	// than E (epoch-based reclamation; see version.go). Retained pages are
+	// retried on the next flush.
+	minPinned := t.minPinnedEpoch()
+	var deferred []freedPage
+	for _, fp := range src.freed {
+		if fp.epoch > minPinned {
+			deferred = append(deferred, fp)
+			continue
+		}
+		if err := src.store.Free(fp.page); err != nil {
+			return storage.InvalidPage, nil, nil, fmt.Errorf("rtree: releasing page %d: %w", fp.page, err)
 		}
 	}
 	ids := make([]NodeID, 0, len(src.dirty))
@@ -394,9 +414,33 @@ func (t *Tree) FlushDirty() (storage.PageID, map[NodeID]storage.PageID, func(), 
 	commit := func() {
 		src.pages = pages
 		src.dirty = make(map[NodeID]struct{})
-		src.freed = nil
+		src.freed = deferred
 	}
 	return root, pages, commit, nil
+}
+
+// ReleaseFreedPages unconditionally releases every deferred freed page to
+// the page store, returning how many it released. It is the close-time
+// companion of FlushDirty's epoch-gated release: any pinned view that still
+// exists is necessarily hydrated (a page can only be freed after the first
+// mutation hydrated the whole tree), so it will never read the file again
+// and the pages are safe to recycle. Without this, pages whose release was
+// deferred past the final flush would stay marked in-use on disk forever —
+// referenced by nothing, and flagged by the page-accounting audit.
+func (t *Tree) ReleaseFreedPages() (int, error) {
+	if t.src == nil || t.src.readonly {
+		return 0, nil
+	}
+	released := 0
+	for _, fp := range t.src.freed {
+		if err := t.src.store.Free(fp.page); err != nil {
+			t.src.freed = t.src.freed[released:]
+			return released, err
+		}
+		released++
+	}
+	t.src.freed = nil
+	return released, nil
 }
 
 // Materialize faults every node of a file-backed tree into memory and fixes
@@ -418,16 +462,6 @@ func (t *Tree) Materialize() error {
 	}
 	t.arenaMu.Lock()
 	defer t.arenaMu.Unlock()
-	for _, n := range t.nodes {
-		if n == nil || n.leaf {
-			continue
-		}
-		for i := range n.entries {
-			c := n.entries[i].Child
-			if c >= 0 && int(c) < len(t.nodes) && t.nodes[c] != nil {
-				t.nodes[c].parent = n.id
-			}
-		}
-	}
+	t.fixParentsLocked()
 	return nil
 }

@@ -102,6 +102,11 @@ func (tr *InsertTrace) Changed(id NodeID) bool {
 // the tree's. On a writable file-backed tree the mutation happens in the
 // node arena and is written back by the next FlushDirty; a read-only tree
 // returns ErrReadOnly.
+//
+// Every node the insertion touches is cloned into the writer's private
+// arena first (copy-on-write), so concurrent readers keep traversing the
+// previously published version; outside an explicit batch the new state is
+// published to readers atomically when Insert returns.
 func (t *Tree) Insert(r geom.Rect, obj ObjectID) (trace *InsertTrace, err error) {
 	if err := t.ensureMutable(); err != nil {
 		return nil, err
@@ -109,6 +114,8 @@ func (t *Tree) Insert(r geom.Rect, obj ObjectID) (trace *InsertTrace, err error)
 	if !r.Valid() || r.Dims() != t.cfg.Dims {
 		return nil, fmt.Errorf("rtree: invalid rectangle %v for a %d-dimensional tree", r, t.cfg.Dims)
 	}
+	t.beginMutation()
+	defer func() { t.autoCommit(err) }()
 	defer recoverFault(&err)
 	trace = &InsertTrace{Leaf: InvalidNode}
 	if t.root == InvalidNode {
@@ -141,7 +148,7 @@ func (t *Tree) Insert(r geom.Rect, obj ObjectID) (trace *InsertTrace, err error)
 // insertion, not for re-insertions).
 func (t *Tree) insertAtLevel(e Entry, level int, trace *InsertTrace, overflowDone map[int]bool, recordLeaf bool) {
 	target := t.chooseSubtree(e.Rect, level)
-	n := t.mustNode(target)
+	n := t.mutable(t.mustNode(target))
 	if e.Child != InvalidNode {
 		t.mustNode(e.Child).parent = n.id
 	}
@@ -385,7 +392,7 @@ func (t *Tree) splitNode(n *node, trace *InsertTrace, overflowDone map[int]bool)
 		return
 	}
 
-	parent := t.mustNode(n.parent)
+	parent := t.mutable(t.mustNode(n.parent))
 	idx := t.childIndex(parent, n.id)
 	before := parent.mbb()
 	parent.entries[idx].Rect = n.mbb()
@@ -414,6 +421,7 @@ func (t *Tree) adjustUpward(n *node, trace *InsertTrace) {
 		newMBB := cur.mbb()
 		changed := !parent.entries[idx].Rect.Equal(newMBB)
 		if changed {
+			parent = t.mutable(parent)
 			parent.entries[idx].Rect = newMBB
 			t.touch(parent)
 			trace.markMBBChanged(cur.id)

@@ -36,24 +36,35 @@ var knnScratchPool = sync.Pool{
 // Nearest-neighbour search is not part of the paper's evaluation; it is
 // provided because most downstream users of an R-tree library expect it, and
 // it exercises the same node layout and I/O accounting as range queries.
+// It runs against the last committed version; see Version.NearestNeighbors
+// for querying a pinned snapshot.
 func (t *Tree) NearestNeighbors(k int, p geom.Point) []Neighbor {
-	if k <= 0 || t.root == InvalidNode || len(p) != t.cfg.Dims {
+	return t.cur.Load().NearestNeighbors(k, p)
+}
+
+// NearestNeighbors is the best-first k-nearest-neighbour search run against
+// one immutable version: the traversal, pop order, and I/O accounting are
+// identical to Tree.NearestNeighbors, but the result reflects exactly this
+// version's epoch regardless of concurrent writer activity.
+func (v *Version) NearestNeighbors(k int, p geom.Point) []Neighbor {
+	t := v.tree
+	if k <= 0 || v.root == InvalidNode || len(p) != t.cfg.Dims {
 		return nil
 	}
-	root := t.node(t.root)
+	root := v.node(v.root)
 	if root == nil {
 		return nil
 	}
 	dims := t.cfg.Dims
 	sc := knnScratchPool.Get().(*knnScratch)
-	pq := knnPush(sc.pq[:0], knnEntry{node: t.root, distSq: root.mbbMinDistSq(p, dims)})
+	pq := knnPush(sc.pq[:0], knnEntry{node: v.root, distSq: root.mbbMinDistSq(p, dims)})
 
 	// At most min(k, size) results can exist; +1 slot absorbs the transient
 	// append inside insertNeighbor. Sizing by k alone would let a huge k
 	// (e.g. "all neighbours" spelled as MaxInt) attempt an absurd allocation.
 	capHint := k
-	if t.size < capHint {
-		capHint = t.size
+	if v.size < capHint {
+		capHint = v.size
 	}
 	results := make([]Neighbor, 0, capHint+1)
 	for len(pq) > 0 {
@@ -69,7 +80,7 @@ func (t *Tree) NearestNeighbors(k int, p geom.Point) []Neighbor {
 			break // nothing in the queue can improve the result set
 		}
 		if e.node != InvalidNode {
-			n := t.node(e.node)
+			n := v.node(e.node)
 			if n == nil {
 				continue
 			}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"cbb/internal/geom"
 	"cbb/internal/hilbert"
@@ -87,10 +88,18 @@ type Entry struct {
 }
 
 type node struct {
-	id      NodeID
-	parent  NodeID
-	leaf    bool
-	level   int // 0 = leaf level
+	id     NodeID
+	parent NodeID
+	leaf   bool
+	level  int // 0 = leaf level
+	// born is the writer epoch that created this node object (creation,
+	// clone, or decode). A node whose born epoch predates the writer's
+	// current batch belongs to a published version and is immutable: the
+	// writer must clone it (Tree.mutable) before changing entries, boxes,
+	// leaf, or level. The parent pointer and the cached Hilbert LHV are
+	// writer-private metadata the read paths never consult, so they may be
+	// refreshed in place on shared node objects.
+	born    uint64
 	entries []Entry
 	// boxes is the flat coordinate mirror of the entry rectangles: 2·dims
 	// contiguous float64 per entry (Lo extents then Hi extents), in entry
@@ -260,11 +269,15 @@ func (c Config) withDefaults() (Config, error) {
 
 // Tree is an R-tree of one of the four variants.
 //
-// Concurrency: a Tree is not safe for concurrent mutation, but once
-// construction and updates have finished any number of goroutines may run
-// Search, SearchFiltered, Count, NearestNeighbors, Walk, Node, and the join
-// algorithms concurrently. The read path touches only immutable node state,
-// the atomic I/O counter, and the (lock-striped) optional buffer pool.
+// Concurrency: the tree is single-writer/multi-reader with copy-on-write
+// epoch versioning. Any number of goroutines may run Search,
+// SearchFiltered, Count, NearestNeighbors, and the join algorithms at any
+// time — including concurrently with a mutation — because every read
+// traverses an immutable published Version (one atomic load per query; see
+// version.go). Mutations (Insert, Delete, BulkLoad, BeginBatch/CommitBatch,
+// FlushDirty) must come from one goroutine at a time; the public cbb layer
+// enforces this with a writer mutex. Walk, Node, Save, Stats, and Validate
+// read the writer's working state and are likewise writer-side operations.
 // SetCounter and SetBufferPool must not race with readers; attach them
 // before the concurrent phase starts.
 type Tree struct {
@@ -277,6 +290,24 @@ type Tree struct {
 	counter *storage.Counter
 	pool    *storage.BufferPool // optional, attached via SetBufferPool
 	curve   *hilbert.Curve
+
+	// Copy-on-write versioning (see version.go): cur is the last published
+	// Version, loaded once per query by every read path. The fields above
+	// (nodes, root, size, height, free) are the single writer's working
+	// state; epoch is the batch currently being built (published epoch + 1),
+	// published marks that t.nodes still aliases cur's node array and must
+	// be copied before the next mutation (detach), and inBatch suppresses
+	// the per-operation auto-commit between BeginBatch and CommitBatch.
+	// live tracks recently published versions so FlushDirty can compute the
+	// minimum pinned epoch for deferred free-page release.
+	cur       atomic.Pointer[Version]
+	epoch     uint64
+	published bool
+	inBatch   bool
+	undo      *batchUndo // writer bookkeeping snapshot for RollbackBatch
+	verMu     sync.Mutex
+	live      []*Version
+	lazyV     *Version // initial lazy version of a file-backed tree
 
 	// File-backed mode, set up by OpenPaged or AttachStore: nodes are
 	// faulted into the arena on first access from src, under arenaMu, and
@@ -298,7 +329,16 @@ type pageSource struct {
 	readonly bool
 	hydrated bool // whole tree materialised; parents and LHVs are valid
 	dirty    map[NodeID]struct{}
-	freed    []storage.PageID
+	freed    []freedPage
+}
+
+// freedPage is a page awaiting release, stamped with the epoch of the batch
+// that dissolved its node: FlushDirty returns it to the pager's free list
+// only once no pinned version is older than that epoch, so a long-lived read
+// view can never observe its page slot being recycled.
+type freedPage struct {
+	page  storage.PageID
+	epoch uint64
 }
 
 // New creates an empty tree. The tree uses its own private I/O counter; use
@@ -308,7 +348,7 @@ func New(cfg Config) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Tree{cfg: cfg, root: InvalidNode, counter: &storage.Counter{}}
+	t := &Tree{cfg: cfg, root: InvalidNode, counter: &storage.Counter{}, epoch: 1}
 	if cfg.Variant == Hilbert {
 		c, err := hilbert.New(cfg.Universe, cfg.HilbertBits)
 		if err != nil {
@@ -316,6 +356,7 @@ func New(cfg Config) (*Tree, error) {
 		}
 		t.curve = c
 	}
+	t.publish()
 	return t, nil
 }
 
@@ -337,12 +378,13 @@ func (t *Tree) Variant() Variant { return t.cfg.Variant }
 // Dims returns the dimensionality of indexed rectangles.
 func (t *Tree) Dims() int { return t.cfg.Dims }
 
-// Len returns the number of indexed objects.
-func (t *Tree) Len() int { return t.size }
+// Len returns the number of indexed objects at the last committed version
+// (mutations inside an open batch are not counted until CommitBatch).
+func (t *Tree) Len() int { return t.cur.Load().size }
 
 // Height returns the number of levels (0 for an empty tree, 1 when the root
-// is a leaf).
-func (t *Tree) Height() int { return t.height }
+// is a leaf) at the last committed version.
+func (t *Tree) Height() int { return t.cur.Load().height }
 
 // Counter returns the I/O counter node accesses are charged to.
 func (t *Tree) Counter() *storage.Counter { return t.counter }
@@ -372,6 +414,276 @@ func (t *Tree) ResetIO() {
 	if t.pool != nil {
 		t.pool.Reset()
 	}
+}
+
+// --- copy-on-write versioning (writer side; reader side in version.go) ------
+
+// CurrentVersion returns the last published version of the tree: one atomic
+// load, no pinning. It is never nil. Use it for a single query; use
+// PinSnapshot for a long-lived read view.
+func (t *Tree) CurrentVersion() *Version { return t.cur.Load() }
+
+// PinSnapshot returns the current version pinned: file pages freed by later
+// batches are not recycled until the matching Unpin. The retry loop ensures
+// the pin lands on a version that was current at some instant during the
+// call.
+func (t *Tree) PinSnapshot() *Version {
+	for {
+		v := t.cur.Load()
+		v.pins.Add(1)
+		if t.cur.Load() == v {
+			return v
+		}
+		v.pins.Add(-1)
+	}
+}
+
+// publish commits the writer's working state as a new immutable Version and
+// makes it the current one. The writer's node array is handed to the version
+// as-is; the next mutation copies it first (detach), so the published array
+// never changes again.
+func (t *Tree) publish() *Version {
+	v := &Version{
+		tree: t, epoch: t.epoch,
+		root: t.root, size: t.size, height: t.height,
+		nodes: t.nodes,
+	}
+	if t.src != nil && !t.src.hydrated {
+		// A file-backed tree that has never been mutated publishes a lazy
+		// version: nodes are still faulted in on demand from this epoch's
+		// page map. Only the initial version of such a tree can be lazy —
+		// the first mutation hydrates everything before publishing again.
+		v.lazy = true
+		v.pages = t.src.pages
+		t.lazyV = v
+	}
+	t.verMu.Lock()
+	t.cur.Store(v)
+	live := t.live[:0]
+	for _, lv := range t.live {
+		if lv.pins.Load() > 0 {
+			live = append(live, lv)
+		}
+	}
+	t.live = append(live, v)
+	t.verMu.Unlock()
+	t.published = true
+	t.epoch++
+	return v
+}
+
+// minPinnedEpoch returns the smallest epoch among pinned versions, or
+// MaxUint64 when nothing is pinned. FlushDirty uses it to decide which freed
+// pages may be recycled.
+func (t *Tree) minPinnedEpoch() uint64 {
+	t.verMu.Lock()
+	defer t.verMu.Unlock()
+	min := ^uint64(0)
+	for _, v := range t.live {
+		if v.pins.Load() > 0 && v.epoch < min {
+			min = v.epoch
+		}
+	}
+	return min
+}
+
+// beginMutation prepares the writer's working state for in-place work: if
+// the node array is still the one handed to the last published version, it
+// is copied first, so concurrent readers of that version keep an untouched
+// array. Called at the start of every mutating operation (and by
+// BeginBatch); cheap when already detached.
+func (t *Tree) beginMutation() {
+	if t.published {
+		t.nodes = append([]*node(nil), t.nodes...)
+		t.published = false
+	}
+}
+
+// batchUndo records what RollbackBatch needs to restore the writer
+// bookkeeping an explicit batch touched. Node content needs no undo log —
+// the published version's node array is immutable, so discarding the
+// writer's private array is the rollback. The dirty-set and page-map undo
+// is built incrementally, first touch wins (recording each id's pre-batch
+// state the first time the batch modifies it), so BeginBatch stays O(free
+// list) instead of copying maps proportional to the whole tree.
+type batchUndo struct {
+	free []NodeID
+	// dirtyPrev maps each node id whose dirty-set membership the batch
+	// changed to its pre-batch membership.
+	dirtyPrev map[NodeID]bool
+	// pagesRemoved holds the page-map entries freeNode deleted during the
+	// batch (pages are never added mid-batch; FlushDirty refuses to run
+	// inside one).
+	pagesRemoved map[NodeID]storage.PageID
+	freedLen     int
+}
+
+// noteDirty records the pre-batch dirty membership of id, first touch wins.
+// Safe on a nil receiver (no batch open).
+func (u *batchUndo) noteDirty(id NodeID, present bool) {
+	if u == nil {
+		return
+	}
+	if u.dirtyPrev == nil {
+		u.dirtyPrev = make(map[NodeID]bool)
+	}
+	if _, seen := u.dirtyPrev[id]; !seen {
+		u.dirtyPrev[id] = present
+	}
+}
+
+// notePageRemoved records a page-map entry deleted by freeNode, first
+// removal wins. Safe on a nil receiver.
+func (u *batchUndo) notePageRemoved(id NodeID, pid storage.PageID) {
+	if u == nil {
+		return
+	}
+	if u.pagesRemoved == nil {
+		u.pagesRemoved = make(map[NodeID]storage.PageID)
+	}
+	if _, seen := u.pagesRemoved[id]; !seen {
+		u.pagesRemoved[id] = pid
+	}
+}
+
+// BeginBatch starts an explicit writer batch: mutations accumulate in the
+// writer's private overlay and become visible to readers only at
+// CommitBatch, as one atomic version switch. Mutating operations outside a
+// batch auto-commit individually. Batches do not nest, and the tree's
+// single-writer rule applies: BeginBatch/CommitBatch and all mutations must
+// come from one goroutine at a time (the public cbb layer enforces this with
+// a writer mutex).
+func (t *Tree) BeginBatch() error {
+	if err := t.ensureMutable(); err != nil {
+		return err
+	}
+	if t.inBatch {
+		return errors.New("rtree: batch already in progress")
+	}
+	t.beginMutation()
+	u := &batchUndo{free: append([]NodeID(nil), t.free...)}
+	if t.src != nil {
+		u.freedLen = len(t.src.freed)
+	}
+	t.undo = u
+	t.inBatch = true
+	return nil
+}
+
+// CommitBatch publishes every mutation since BeginBatch as one new version
+// and returns it. Readers switch from the previous version to the new one
+// atomically; no reader ever observes a partially applied batch.
+func (t *Tree) CommitBatch() *Version {
+	t.inBatch = false
+	t.undo = nil
+	return t.publish()
+}
+
+// RollbackBatch discards every mutation since BeginBatch: the writer's
+// private node array is dropped in favour of the published version's
+// (copy-on-write means the published nodes were never touched), the batch's
+// bookkeeping (free list, page map, dirty set, freed pages) is restored
+// from the begin-time snapshot, and the writer-private node metadata the
+// batch may have refreshed in place on shared objects — parent pointers and
+// Hilbert LHVs — is recomputed. Readers are unaffected: nothing was
+// published.
+func (t *Tree) RollbackBatch() {
+	if !t.inBatch {
+		return
+	}
+	u := t.undo
+	t.inBatch = false
+	t.undo = nil
+	v := t.cur.Load()
+	t.nodes = v.nodes
+	t.published = true // next mutation detaches from the published array again
+	t.root, t.size, t.height = v.root, v.size, v.height
+	t.free = u.free
+	if t.src != nil {
+		for id, was := range u.dirtyPrev {
+			if was {
+				t.src.dirty[id] = struct{}{}
+			} else {
+				delete(t.src.dirty, id)
+			}
+		}
+		for id, pid := range u.pagesRemoved {
+			t.src.pages[id] = pid
+		}
+		t.src.freed = t.src.freed[:u.freedLen]
+	}
+	t.arenaMu.Lock()
+	t.fixParentsLocked()
+	t.arenaMu.Unlock()
+	if t.cfg.Variant == Hilbert {
+		t.recomputeHilbertLHVs()
+	}
+}
+
+// fixParentsLocked recomputes every node's parent pointer from the
+// directory entries (the inverse information is not kept anywhere else) —
+// shared by Materialize (hydration) and RollbackBatch. arenaMu must be
+// held; the arena is accessed directly, so every node must already be
+// resident.
+func (t *Tree) fixParentsLocked() {
+	if t.root != InvalidNode && int(t.root) < len(t.nodes) && t.nodes[t.root] != nil {
+		t.nodes[t.root].parent = InvalidNode
+	}
+	for _, n := range t.nodes {
+		if n == nil || n.leaf {
+			continue
+		}
+		for i := range n.entries {
+			c := n.entries[i].Child
+			if c >= 0 && int(c) < len(t.nodes) && t.nodes[c] != nil {
+				t.nodes[c].parent = n.id
+			}
+		}
+	}
+}
+
+// InBatch reports whether an explicit writer batch is open.
+func (t *Tree) InBatch() bool { return t.inBatch }
+
+// autoCommit publishes after a successful non-batched mutation.
+func (t *Tree) autoCommit(err error) {
+	if err == nil && !t.inBatch {
+		t.publish()
+	}
+}
+
+// cloneForWrite deep-copies a shared node object so the writer can mutate it
+// without disturbing published versions: entries and the flat coordinate
+// mirror get fresh backing arrays; parent, leaf, level, and the Hilbert LHV
+// carry over.
+func (t *Tree) cloneForWrite(n *node) *node {
+	c := &node{
+		id: n.id, parent: n.parent, leaf: n.leaf, level: n.level,
+		born:       t.epoch,
+		hilbertLHV: n.hilbertLHV,
+	}
+	c.entries = append(make([]Entry, 0, cap(n.entries)), n.entries...)
+	c.boxes = append(make([]float64, 0, cap(n.boxes)), n.boxes...)
+	return c
+}
+
+// mutable returns a node object the writer may mutate in place: n itself
+// when it was created or already cloned in the current batch, otherwise a
+// clone installed in the writer's arena in its stead. Every mutation of a
+// node's entries (and the derived boxes mirror) must go through here before
+// writing; reads may keep using the shared object.
+func (t *Tree) mutable(n *node) *node {
+	if n.born == t.epoch {
+		return n
+	}
+	// The arena may already hold a clone from earlier in this batch even if
+	// the caller still has a stale shared pointer.
+	if c := t.nodes[n.id]; c.born == t.epoch {
+		return c
+	}
+	c := t.cloneForWrite(n)
+	t.nodes[n.id] = c
+	return c
 }
 
 // ChargeRead records one access to the node with the given id: a leaf or
@@ -427,33 +739,10 @@ func (t *Tree) Err() error {
 	return t.faultErr
 }
 
-// RootMBBIntersects reports whether q intersects the MBB of the root node,
-// scanning the root's flat coordinate mirror without charging I/O or
-// allocating. It returns false for an empty tree and true when the root
-// cannot be read (so callers fall through to the regular search path, which
-// records the fault). The clipped search layer uses it for its root pruning
-// test; q must have the tree's dimensionality.
-func (t *Tree) RootMBBIntersects(q geom.Rect) bool {
-	if t.root == InvalidNode {
-		return false
-	}
-	n := t.node(t.root)
-	if n == nil {
-		return true
-	}
-	return n.mbbIntersects(q, t.cfg.Dims)
-}
-
-// Bounds returns the MBB of all indexed objects (zero Rect when empty).
+// Bounds returns the MBB of all indexed objects (zero Rect when empty) at
+// the last committed version.
 func (t *Tree) Bounds() geom.Rect {
-	if t.root == InvalidNode {
-		return geom.Rect{}
-	}
-	n := t.node(t.root)
-	if n == nil {
-		return geom.Rect{}
-	}
-	return n.mbb()
+	return t.cur.Load().Bounds()
 }
 
 // --- node arena management -------------------------------------------------
@@ -464,11 +753,14 @@ func (t *Tree) newNode(leaf bool, level int) *node {
 	if n := len(t.free); n > 0 {
 		id = t.free[n-1]
 		t.free = t.free[:n-1]
-		nd = t.nodes[id]
-		*nd = node{id: id, parent: InvalidNode, leaf: leaf, level: level}
+		// The arena slot may still be referenced by a published version
+		// (the node object of the freed generation), so a fresh object is
+		// always allocated; node ids are reused, node objects never are.
+		nd = &node{id: id, parent: InvalidNode, leaf: leaf, level: level, born: t.epoch}
+		t.nodes[id] = nd
 	} else {
 		id = NodeID(len(t.nodes))
-		nd = &node{id: id, parent: InvalidNode, leaf: leaf, level: level}
+		nd = &node{id: id, parent: InvalidNode, leaf: leaf, level: level, born: t.epoch}
 		t.nodes = append(t.nodes, nd)
 	}
 	t.touch(nd)
@@ -476,16 +768,24 @@ func (t *Tree) newNode(leaf bool, level int) *node {
 }
 
 func (t *Tree) freeNode(id NodeID) {
-	t.nodes[id].entries = nil
-	t.nodes[id].boxes = nil
+	// Published versions may still traverse the freed node's object, so it
+	// is left untouched; the writer's arena slot gets an empty placeholder
+	// of the same shape (matching the pre-versioning behaviour of a freed
+	// slot: present, no entries).
+	old := t.nodes[id]
+	t.nodes[id] = &node{id: id, parent: old.parent, leaf: old.leaf, level: old.level, born: t.epoch}
 	t.free = append(t.free, id)
 	if t.src != nil {
-		// The node's page (if it has one) is released on the next flush; a
-		// later newNode reusing this arena id allocates a fresh page with
-		// the right kind.
-		delete(t.src.dirty, id)
+		// The node's page (if it has one) is released on a later flush, once
+		// no pinned version predates this batch; a later newNode reusing
+		// this arena id allocates a fresh page with the right kind.
+		if _, ok := t.src.dirty[id]; ok {
+			t.undo.noteDirty(id, true)
+			delete(t.src.dirty, id)
+		}
 		if pid, ok := t.src.pages[id]; ok {
-			t.src.freed = append(t.src.freed, pid)
+			t.undo.notePageRemoved(id, pid)
+			t.src.freed = append(t.src.freed, freedPage{page: pid, epoch: t.epoch})
 			delete(t.src.pages, id)
 		}
 	}
@@ -494,10 +794,18 @@ func (t *Tree) freeNode(id NodeID) {
 // touch records that a node's persistent state (entries, leaf flag, level)
 // changed: the next FlushDirty writes it back (file-backed trees), and the
 // flat coordinate mirror is refreshed (all trees). Every entry mutation site
-// calls it — the single node-access layer shared by both modes.
+// calls it — the single node-access layer shared by both modes. The node
+// must be writer-owned (created or cloned in the current batch); touching a
+// shared node object would mutate a published version under its readers.
 func (t *Tree) touch(n *node) {
+	if n.born != t.epoch {
+		panic(fmt.Sprintf("rtree: touch of node %d shared with a published version (born %d, batch %d)", n.id, n.born, t.epoch))
+	}
 	if t.src != nil {
-		t.src.dirty[n.id] = struct{}{}
+		if _, ok := t.src.dirty[n.id]; !ok {
+			t.undo.noteDirty(n.id, false)
+			t.src.dirty[n.id] = struct{}{}
+		}
 	}
 	n.syncBoxes(t.cfg.Dims)
 }
@@ -556,6 +864,14 @@ func (t *Tree) ensureMutable() error {
 	if t.cfg.Variant == Hilbert {
 		t.recomputeHilbertLHVs()
 	}
+	// The lazy version published at open keeps the original page map; the
+	// writer takes a private copy so freeNode and FlushDirty never mutate a
+	// map a concurrent lazy reader might still consult while faulting.
+	pages := make(map[NodeID]storage.PageID, len(t.src.pages))
+	for id, pid := range t.src.pages {
+		pages[id] = pid
+	}
+	t.src.pages = pages
 	t.src.hydrated = true
 	return nil
 }
@@ -575,12 +891,13 @@ func (t *Tree) recomputeHilbertLHVs() {
 	}
 }
 
-// node returns the node with the given id. For an ordinary in-memory tree
-// this is a plain arena lookup; for a file-backed tree the node is faulted
-// in from the page store on first access, under arenaMu, so any number of
-// concurrent readers can share one lazily loaded tree. It returns nil when
-// the id is out of range, freed, or its page cannot be read (the failure is
-// recorded and exposed via Err).
+// node is the writer-side node accessor: the arena lookup used by the
+// mutation algorithms, Walk, Save, and friends. For an ordinary in-memory
+// tree (and for a file-backed tree once its first mutation has hydrated it)
+// this is a plain arena lookup; before hydration it falls through to the
+// lazy version's fault path, so the arena fills in exactly as reads always
+// did. It returns nil when the id is out of range or its page cannot be
+// read (the failure is recorded and exposed via Err).
 func (t *Tree) node(id NodeID) *node {
 	if t.src == nil {
 		return t.nodes[id]
@@ -589,46 +906,68 @@ func (t *Tree) node(id NodeID) *node {
 		t.setFaultErr(fmt.Errorf("rtree: node id %d out of range", id))
 		return nil
 	}
+	if t.src.hydrated {
+		return t.nodes[id]
+	}
+	return t.lazyNode(t.lazyV, id)
+}
+
+// lazyNode serves a node access on a lazy (file-backed, never mutated)
+// version: the version's array is checked under the arena lock, and a miss
+// faults the page in. Before the tree's first mutation the lazy version's
+// array and the writer arena are the same array, so faults triggered by
+// either side are shared.
+func (t *Tree) lazyNode(v *Version, id NodeID) *node {
+	if id < 0 || int(id) >= len(v.nodes) {
+		t.setFaultErr(fmt.Errorf("rtree: node id %d out of range", id))
+		return nil
+	}
 	t.arenaMu.RLock()
-	n := t.nodes[id]
+	n := v.nodes[id]
 	t.arenaMu.RUnlock()
 	if n != nil {
 		return n
 	}
-	return t.fault(id)
+	return t.fault(v, id)
 }
 
-// fault loads one node page from the page store into the arena. The disk
-// read and decode run outside the lock so concurrent cold readers fault
-// different pages in parallel; only the install re-checks under the write
-// lock (two goroutines racing on the same node decode it twice, harmlessly
-// — the loser's copy is discarded).
-func (t *Tree) fault(id NodeID) *node {
-	pid, ok := t.src.pages[id]
-	if !ok {
-		t.setFaultErr(fmt.Errorf("rtree: node %d has no page in the snapshot", id))
-		return nil
-	}
-	buf, _, err := t.src.store.Read(pid)
-	if err != nil {
-		t.setFaultErr(fmt.Errorf("rtree: reading page %d for node %d: %w", pid, id, err))
-		return nil
-	}
-	n, err := decodeNode(buf, t.cfg.Dims)
-	if err != nil {
-		t.setFaultErr(fmt.Errorf("rtree: decoding page %d for node %d: %w", pid, id, err))
-		return nil
-	}
-	if n.id != id {
-		t.setFaultErr(fmt.Errorf("rtree: page %d claims node id %d, expected %d", pid, n.id, id))
-		return nil
+// fault loads one node page from the page store into a lazy version's node
+// array. The disk read and decode run outside the lock so concurrent cold
+// readers fault different pages in parallel; the outcome — success OR
+// failure — is then reconciled under the write lock against what may have
+// been installed meanwhile, and the already-installed node always wins.
+// That rule is what makes unpinned in-flight reads safe against a
+// concurrent first mutation + flush: the writer's hydration populates the
+// whole array before any page can be freed, rewritten, or recycled on
+// disk, so a stale fault that loses the race and reads a freed, reused, or
+// mid-commit page discards its result and returns the hydrated epoch-0
+// node instead of recording a spurious fault — or, worse, serving a newer
+// node generation to an older version. The page lookup uses the version's
+// own page map, which is never mutated after publication.
+func (t *Tree) fault(v *Version, id NodeID) *node {
+	var n *node
+	var ferr error
+	if pid, ok := v.pages[id]; !ok {
+		ferr = fmt.Errorf("rtree: node %d has no page in the snapshot", id)
+	} else if buf, _, err := t.src.store.Read(pid); err != nil {
+		ferr = fmt.Errorf("rtree: reading page %d for node %d: %w", pid, id, err)
+	} else if n, err = decodeNode(buf, t.cfg.Dims); err != nil {
+		n = nil
+		ferr = fmt.Errorf("rtree: decoding page %d for node %d: %w", pid, id, err)
+	} else if n.id != id {
+		ferr = fmt.Errorf("rtree: page %d claims node id %d, expected %d", pid, n.id, id)
+		n = nil
 	}
 	t.arenaMu.Lock()
 	defer t.arenaMu.Unlock()
-	if cached := t.nodes[id]; cached != nil {
+	if cached := v.nodes[id]; cached != nil {
 		return cached
 	}
-	t.nodes[id] = n
+	if ferr != nil {
+		t.faultErrLocked(ferr)
+		return nil
+	}
+	v.nodes[id] = n
 	return n
 }
 
@@ -746,7 +1085,7 @@ func (t *Tree) SearchFiltered(q geom.Rect, filter func(NodeID, geom.Rect) bool, 
 // SearchFilteredCounted is SearchFiltered with the node accesses charged to
 // an explicit counter (the tree's own when c is nil).
 func (t *Tree) SearchFilteredCounted(q geom.Rect, filter func(NodeID, geom.Rect) bool, c *storage.Counter, visit func(ObjectID, geom.Rect) bool) {
-	t.searchIter(q, filter, nil, c, visit)
+	t.cur.Load().searchIter(q, filter, nil, c, visit)
 }
 
 // Admitter is the allocation-free variant of the SearchFiltered admission
@@ -758,111 +1097,6 @@ func (t *Tree) SearchFilteredCounted(q geom.Rect, filter func(NodeID, geom.Rect)
 // steady-state search performs no heap allocations.
 type Admitter interface {
 	AdmitChild(child NodeID, childMBB geom.Rect, q geom.Rect) bool
-}
-
-// SearchAdmitted is SearchFiltered with the admission test supplied as an
-// Admitter instead of a closure. The root is always visited.
-func (t *Tree) SearchAdmitted(q geom.Rect, adm Admitter, visit func(ObjectID, geom.Rect) bool) {
-	t.searchIter(q, nil, adm, nil, visit)
-}
-
-// SearchAdmittedCounted is SearchAdmitted with the node accesses charged to
-// an explicit counter (the tree's own when c is nil).
-func (t *Tree) SearchAdmittedCounted(q geom.Rect, adm Admitter, c *storage.Counter, visit func(ObjectID, geom.Rect) bool) {
-	t.searchIter(q, nil, adm, c, visit)
-}
-
-// searchScratch is the pooled per-search working state: the explicit DFS
-// stack and the query extents copied into fixed flat arrays so the hot loop
-// compares contiguous memory against contiguous memory.
-type searchScratch struct {
-	stack []NodeID
-	qlo   [geom.MaxDims]float64
-	qhi   [geom.MaxDims]float64
-}
-
-var searchScratchPool = sync.Pool{
-	New: func() interface{} { return &searchScratch{stack: make([]NodeID, 0, 64)} },
-}
-
-// searchIter is the query hot path shared by Search, SearchFiltered,
-// SearchAdmitted, and the batch executor: an iterative depth-first descent
-// over an explicit pooled stack. Children are pushed in reverse entry order,
-// so nodes are processed — and I/O is charged — in exactly the order the
-// previous recursive implementation used; results, visit order, and leaf/
-// directory access counts are bit-identical. In steady state it performs no
-// heap allocations.
-//
-// At most one of filter and adm is non-nil.
-func (t *Tree) searchIter(q geom.Rect, filter func(NodeID, geom.Rect) bool, adm Admitter, c *storage.Counter, visit func(ObjectID, geom.Rect) bool) {
-	if t.root == InvalidNode || !q.Valid() || q.Dims() != t.cfg.Dims {
-		return
-	}
-	if c == nil {
-		c = t.counter
-	}
-	dims := t.cfg.Dims
-	sc := searchScratchPool.Get().(*searchScratch)
-	copy(sc.qlo[:dims], q.Lo)
-	copy(sc.qhi[:dims], q.Hi)
-	stack := append(sc.stack[:0], t.root)
-	for len(stack) > 0 {
-		id := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		n := t.node(id)
-		if n == nil {
-			continue // unreadable page on a file-backed tree; recorded in Err
-		}
-		boxes := n.boxes
-		if n.leaf {
-			t.ChargeRead(n.id, true, c)
-			off := 0
-			for i := range n.entries {
-				if boxHits(boxes, off, dims, &sc.qlo, &sc.qhi) {
-					if !visit(n.entries[i].Object, n.entries[i].Rect) {
-						sc.stack = stack[:0]
-						searchScratchPool.Put(sc)
-						return
-					}
-				}
-				off += 2 * dims
-			}
-			continue
-		}
-		t.ChargeRead(n.id, false, c)
-		base := len(stack)
-		off := 0
-		for i := range n.entries {
-			if boxHits(boxes, off, dims, &sc.qlo, &sc.qhi) {
-				e := &n.entries[i]
-				switch {
-				case filter != nil && !filter(e.Child, e.Rect):
-				case adm != nil && !adm.AdmitChild(e.Child, e.Rect, q):
-				default:
-					stack = append(stack, e.Child)
-				}
-			}
-			off += 2 * dims
-		}
-		// Reverse the admitted children so the first entry is popped first,
-		// preserving the recursive depth-first visit order.
-		for i, j := base, len(stack)-1; i < j; i, j = i+1, j-1 {
-			stack[i], stack[j] = stack[j], stack[i]
-		}
-	}
-	sc.stack = stack[:0]
-	searchScratchPool.Put(sc)
-}
-
-// boxHits reports whether the entry box starting at boxes[off] (dims Lo
-// extents followed by dims Hi extents) intersects the query extents.
-func boxHits(boxes []float64, off, dims int, qlo, qhi *[geom.MaxDims]float64) bool {
-	for d := 0; d < dims; d++ {
-		if boxes[off+dims+d] < qlo[d] || qhi[d] < boxes[off+d] {
-			return false
-		}
-	}
-	return true
 }
 
 // Count returns the number of objects intersecting q (convenience wrapper

@@ -502,6 +502,23 @@ func OpenFile(path string) (*Snapshot, *storage.FilePager, error) {
 	return snap, fp, nil
 }
 
+// OpenFileReadOnly is OpenFile with a strictly read-only page file: the
+// snapshot (and any pending write-ahead log next to it) is never modified —
+// a committed WAL is replayed into an in-memory overlay and left on disk.
+// Inspection tools use this so that examining a file has no side effects.
+func OpenFileReadOnly(path string) (*Snapshot, *storage.FilePager, error) {
+	fp, err := storage.OpenFilePagerReadOnly(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	snap, err := Read(fp)
+	if err != nil {
+		fp.Close()
+		return nil, nil, err
+	}
+	return snap, fp, nil
+}
+
 // --- chunked aux-page regions ------------------------------------------------
 
 // runAllocator is the optional page-store capability of allocating n

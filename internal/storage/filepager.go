@@ -242,6 +242,30 @@ func OpenFilePager(path string) (*FilePager, error) {
 	return p, nil
 }
 
+// OpenFilePagerReadOnly opens an existing page file strictly read-only,
+// regardless of file permissions: mutations return ErrReadOnlyFS, Close
+// leaves the file bytes, mtime, and any write-ahead log untouched. A
+// committed WAL next to the file is replayed into an in-memory overlay so
+// reads observe the committed state — and is left on disk for a future
+// writable open to apply. Inspection tools use this so that looking at a
+// snapshot can never alter it.
+func OpenFilePagerReadOnly(path string) (*FilePager, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := loadFilePager(f, path, true)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := p.recoverWAL(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
 func loadFilePager(f *os.File, path string, readonly bool) (*FilePager, error) {
 	hdr := make([]byte, fileHeaderBytes)
 	if _, err := io.ReadFull(f, hdr); err != nil {
@@ -675,6 +699,11 @@ func (p *FilePager) syncLocked() error {
 // whole batch atomic via the write-ahead log. Reads see staged state
 // immediately. EnableJournal fails on a read-only pager; enabling an already
 // journaled pager is a no-op.
+//
+// Enabling the journal is O(1): the slot directory and free list are NOT
+// scanned here — they are still built lazily, by the first operation that
+// genuinely needs them (Allocate, Write, Free, Usage) — so a writable Open
+// of an arbitrarily large snapshot stays constant-time.
 func (p *FilePager) EnableJournal() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -686,9 +715,6 @@ func (p *FilePager) EnableJournal() error {
 	}
 	if p.journal {
 		return nil
-	}
-	if err := p.ensureDirLocked(); err != nil {
-		return err
 	}
 	p.journal = true
 	p.overlay = make(map[PageID]*overlayPage)

@@ -238,27 +238,16 @@ func writeWALFile(path string, pageSize, slotCount int, records []WALRecord) err
 	if err == nil {
 		// The WAL's directory entry must be durable too: fsyncing only the
 		// file does not persist its dirent, and the commit point is defined
-		// by the WAL being findable after a crash.
-		err = syncDir(filepath.Dir(path))
+		// by the WAL being findable after a crash. fsyncDir tolerates
+		// platforms and filesystems that cannot fsync a directory (see
+		// fsyncdir.go / fsyncdir_windows.go) rather than failing the commit.
+		err = fsyncDir(filepath.Dir(path))
 	}
 	if err != nil {
 		os.Remove(path)
 		return fmt.Errorf("storage: writing WAL %s: %w", path, err)
 	}
 	return nil
-}
-
-// syncDir fsyncs a directory so recent entry creations survive a crash.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
 }
 
 // removeWAL deletes a consumed (or discarded) write-ahead log; a missing

@@ -83,3 +83,40 @@ func SynchronizedTreeTraversalJoinWith(left, right *Tree, opts JoinOptions, visi
 	}
 	return JoinResult{Pairs: res.Pairs, IO: toIOStats(res.IO)}, nil
 }
+
+// IndexNestedLoopJoinView is IndexNestedLoopJoinWith against a pinned read
+// view: every probe query runs at the view's epoch, so the join result is
+// exactly what a quiesced tree at that epoch would produce even while a
+// writer commits concurrently.
+func IndexNestedLoopJoinView(indexed *View, probes []Item, opts JoinOptions, visit func(JoinPair)) (JoinResult, error) {
+	if indexed == nil {
+		return JoinResult{}, errors.New("cbb: IndexNestedLoopJoinView requires a view")
+	}
+	var cb func(join.Pair)
+	if visit != nil {
+		cb = func(p join.Pair) { visit(JoinPair{Left: p.Left, Right: p.Right}) }
+	}
+	res, err := join.PINLJSide(indexed.side(), probes, opts.Workers, cb)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	return JoinResult{Pairs: res.Pairs, IO: toIOStats(res.IO)}, nil
+}
+
+// SynchronizedTreeTraversalJoinView is SynchronizedTreeTraversalJoinWith
+// against two pinned read views, one per input; the whole traversal runs at
+// the views' epochs regardless of concurrent writers on either tree.
+func SynchronizedTreeTraversalJoinView(left, right *View, opts JoinOptions, visit func(JoinPair)) (JoinResult, error) {
+	if left == nil || right == nil {
+		return JoinResult{}, errors.New("cbb: SynchronizedTreeTraversalJoinView requires two views")
+	}
+	var cb func(join.Pair)
+	if visit != nil {
+		cb = func(p join.Pair) { visit(JoinPair{Left: p.Left, Right: p.Right}) }
+	}
+	res, err := join.PSTTSides(left.side(), right.side(), opts.Workers, cb)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	return JoinResult{Pairs: res.Pairs, IO: toIOStats(res.IO)}, nil
+}

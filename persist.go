@@ -237,6 +237,15 @@ func Create(path string, opts Options) (*Tree, error) {
 // for read-only trees and an error for trees with no bound file. A tree
 // with nothing to commit just syncs the file.
 func (t *Tree) Flush() error {
+	if t.batchOpen.Load() {
+		return errors.New("cbb: Flush with an open batch; Commit or Rollback it first")
+	}
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	return t.flushLocked()
+}
+
+func (t *Tree) flushLocked() error {
 	if t.pager == nil {
 		return errors.New("cbb: tree has no snapshot file; use Create or Open, or SaveTo an io.Writer")
 	}
@@ -261,12 +270,29 @@ func (t *Tree) Flush() error {
 // file. Closing a tree with no persistence binding is a no-op. The tree
 // must not be used afterwards.
 func (t *Tree) Close() error {
+	if t.batchOpen.Load() {
+		return errors.New("cbb: Close with an open batch; Commit or Rollback it first")
+	}
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
 	if t.pager == nil {
 		return nil
 	}
 	var err error
 	if !t.tree.ReadOnly() {
-		err = t.Flush()
+		err = t.flushLocked()
+		if err == nil {
+			// Freed pages whose release was deferred because a read view
+			// pinned an older epoch must not leak past the file's lifetime:
+			// any surviving view is hydrated and will never read the file,
+			// so releasing them all here is safe — and keeps every in-use
+			// slot referenced by the snapshot structure.
+			if n, rerr := t.tree.ReleaseFreedPages(); rerr != nil {
+				err = rerr
+			} else if n > 0 {
+				err = t.pager.CommitJournal()
+			}
+		}
 	}
 	if cerr := t.pager.Close(); err == nil {
 		err = cerr

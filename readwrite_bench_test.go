@@ -1,0 +1,159 @@
+package cbb
+
+// Concurrency benchmarks: reader latency while a writer continuously
+// commits copy-on-write batches, and the writer-side cost of batched
+// commits. Tracked in BENCH_baseline.json and run by CI with -benchtime=1x
+// as a smoke test. On a single-core machine the "during-commits" numbers
+// include genuine CPU contention with the writer goroutine; the point of
+// the benchmark is that readers keep completing (no blocking, no locks),
+// not that they are contention-free.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// startBackgroundWriter launches a goroutine applying count-preserving
+// batches (8 inserts + 8 deletes per commit) until stop is set.
+func startBackgroundWriter(b *testing.B, tree *Tree, seed int64) (stop func()) {
+	b.Helper()
+	var quit atomic.Bool
+	var wg sync.WaitGroup
+	rng := rand.New(rand.NewSource(seed))
+	var queue []Item
+	nextID := ObjectID(1 << 40)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !quit.Load() {
+			batch, err := tree.Begin()
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			for k := 0; k < 8; k++ {
+				lo := Pt(rng.Float64(), rng.Float64())
+				it := Item{Object: nextID, Rect: Rect{Lo: lo, Hi: Pt(lo[0]+0.001, lo[1]+0.001)}}
+				nextID++
+				if err := batch.Insert(it.Rect, it.Object); err != nil {
+					b.Error(err)
+					return
+				}
+				queue = append(queue, it)
+			}
+			for k := 0; k < 8 && len(queue) > 16; k++ {
+				it := queue[0]
+				queue = queue[1:]
+				if _, err := batch.Delete(it.Rect, it.Object); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			if err := batch.Commit(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	return func() {
+		quit.Store(true)
+		wg.Wait()
+	}
+}
+
+// BenchmarkReadWhileWrite measures one range query per iteration on a tree
+// of 50k uniform rectangles, (a) quiesced, (b) while a writer goroutine
+// commits batches continuously, and (c) on a pinned snapshot view during
+// the same write storm. Readers never block: the only difference between
+// the variants on a multi-core machine is cache traffic; on a single core
+// it is timeslice sharing with the writer.
+func BenchmarkReadWhileWrite(b *testing.B) {
+	for _, cm := range []ClipMethod{ClipNone, ClipStairline} {
+		for _, mode := range []string{"quiesced", "during-commits", "view-during-commits"} {
+			b.Run(fmt.Sprintf("clip=%s/%s", cm, mode), func(b *testing.B) {
+				tree, queries := hotPathTree(b, 50000, 2, cm)
+				hits := 0
+				visit := func(ObjectID, Rect) bool { hits++; return true }
+				if mode != "quiesced" {
+					stop := startBackgroundWriter(b, tree, 11)
+					defer stop()
+				}
+				var view *View
+				if mode == "view-during-commits" {
+					view = tree.Snapshot()
+					defer view.Close()
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					q := queries[i%len(queries)]
+					if view != nil {
+						view.Search(q, visit)
+					} else {
+						tree.Search(q, visit)
+					}
+				}
+				b.StopTimer()
+				if hits == 0 {
+					b.Fatal("queries matched nothing; benchmark is vacuous")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkWriterCommit measures the writer side of the copy-on-write
+// machinery: one count-preserving 8+8 batch (clone, mutate, publish) per
+// iteration on a 50k-object tree, with no readers in the way.
+func BenchmarkWriterCommit(b *testing.B) {
+	for _, cm := range []ClipMethod{ClipNone, ClipStairline} {
+		b.Run(fmt.Sprintf("clip=%s", cm), func(b *testing.B) {
+			tree, _ := hotPathTree(b, 50000, 2, cm)
+			rng := rand.New(rand.NewSource(13))
+			var queue []Item
+			nextID := ObjectID(1 << 40)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batch, err := tree.Begin()
+				if err != nil {
+					b.Fatal(err)
+				}
+				for k := 0; k < 8; k++ {
+					lo := Pt(rng.Float64(), rng.Float64())
+					it := Item{Object: nextID, Rect: Rect{Lo: lo, Hi: Pt(lo[0]+0.001, lo[1]+0.001)}}
+					nextID++
+					if err := batch.Insert(it.Rect, it.Object); err != nil {
+						b.Fatal(err)
+					}
+					queue = append(queue, it)
+				}
+				for k := 0; k < 8 && len(queue) > 16; k++ {
+					it := queue[0]
+					queue = queue[1:]
+					if _, err := batch.Delete(it.Rect, it.Object); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := batch.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotAcquire measures the cost of pinning and releasing a
+// read view (the per-view, not per-query, overhead of snapshot isolation).
+func BenchmarkSnapshotAcquire(b *testing.B) {
+	tree, _ := hotPathTree(b, 50000, 2, ClipStairline)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := tree.Snapshot()
+		v.Close()
+	}
+}
