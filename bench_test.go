@@ -1,4 +1,4 @@
-package cbb
+package cbb_test
 
 // This file contains one benchmark per table/figure of the paper's
 // evaluation (see DESIGN.md §3 for the mapping). Each benchmark wraps the
@@ -12,6 +12,8 @@ package cbb
 import (
 	"fmt"
 	"testing"
+
+	"cbb"
 
 	"cbb/internal/core"
 	"cbb/internal/experiments"
@@ -343,15 +345,15 @@ func BenchmarkBatchSearchWorkers(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	var batch []Rect
+	var batch []cbb.Rect
 	for _, qs := range querySet {
 		batch = append(batch, qs...)
 	}
-	tree, err := New(Options{Dims: 2, Variant: RStarTree})
+	tree, err := cbb.New(cbb.Options{Dims: 2, Variant: cbb.RStarTree})
 	if err != nil {
 		b.Fatal(err)
 	}
-	items := make([]Item, len(ds.Items))
+	items := make([]cbb.Item, len(ds.Items))
 	copy(items, ds.Items)
 	if err := tree.BulkLoad(items); err != nil {
 		b.Fatal(err)
@@ -361,7 +363,7 @@ func BenchmarkBatchSearchWorkers(b *testing.B) {
 			b.ReportAllocs()
 			var leafReads int64
 			for i := 0; i < b.N; i++ {
-				res, err := BatchSearch(tree, batch, BatchOptions{Workers: workers})
+				res, err := cbb.BatchSearch(tree, batch, cbb.BatchOptions{Workers: workers})
 				if err != nil {
 					b.Fatal(err)
 				}

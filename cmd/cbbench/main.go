@@ -11,14 +11,18 @@
 //	cbbench -exp table1 -datasets rea02,axo03 -variants "R*-tree,RR*-tree"
 //
 // Experiments: fig01, fig08, fig09, fig10, fig11, table1, fig12, fig13,
-// fig14, join, fig15, throughput, coldstart, update, all. The throughput experiment
-// goes beyond the paper: it sweeps the parallel query engine's worker count
-// (bounded by -workers) and reports queries/sec next to the leaf-access
-// metric. The coldstart experiment measures file-backed query I/O of a
-// freshly opened snapshot under varying buffer-pool sizes, and the update
-// experiment measures query I/O and clip-maintenance cost under mixed
+// fig14, join, fig15, throughput, coldstart, update, sharded, all. The throughput
+// experiment goes beyond the paper: it sweeps the parallel query engine's
+// worker count (bounded by -workers) and reports queries/sec next to the
+// leaf-access metric. The coldstart experiment measures file-backed query
+// I/O of a freshly opened snapshot under varying buffer-pool sizes, and the
+// update experiment measures query I/O and clip-maintenance cost under mixed
 // insert/search traffic against a writable file-backed tree (clipped vs.
-// plain), including the pages written back per WAL-committed flush.
+// plain), including the pages written back per WAL-committed flush. The
+// sharded experiment loads the skewed hot02 workload through concurrent
+// writers into the Hilbert-sharded multi-tree engine (shard count bounded by
+// -shards) and reports ingest throughput against the single-writer-mutex
+// baseline plus the skew-driven shard rebalancing behaviour.
 //
 // With -save DIR every built tree is saved as a snapshot into DIR, and with
 // -load DIR previously saved snapshots are reopened instead of rebuilding,
@@ -51,7 +55,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (fig01,fig08,fig09,fig10,fig11,table1,fig12,fig13,fig14,join,fig15,throughput,coldstart,update,all)")
+		exp        = flag.String("exp", "all", "experiment to run (fig01,fig08,fig09,fig10,fig11,table1,fig12,fig13,fig14,join,fig15,throughput,coldstart,update,sharded,all)")
 		scale      = flag.Int("scale", 20000, "objects per dataset")
 		queries    = flag.Int("queries", 200, "queries per selectivity profile")
 		seed       = flag.Int64("seed", 42, "random seed")
@@ -60,6 +64,7 @@ func main() {
 		varFlag    = flag.String("variants", "", "comma-separated variant subset (QR-tree,HR-tree,R*-tree,RR*-tree)")
 		tau        = flag.Float64("tau", 0.025, "clip-point volume threshold τ")
 		workers    = flag.Int("workers", 8, "maximum worker count of the parallel throughput sweep")
+		shards     = flag.Int("shards", 4, "shard count of the sharded multi-writer ingest experiment")
 		saveDir    = flag.String("save", "", "directory to save built-tree snapshots into (build cost paid once)")
 		loadDir    = flag.String("load", "", "directory to load previously saved tree snapshots from")
 		listOnly   = flag.Bool("list", false, "list datasets and experiments, then exit")
@@ -105,7 +110,7 @@ func main() {
 		for _, s := range datasets.Specs {
 			fmt.Printf("  %-6s %dd  default %d objects  (%s)\n", s.Name, s.Dims, s.DefaultSize, s.Description)
 		}
-		fmt.Println("experiments: fig01 fig08 fig09 fig10 fig11 table1 fig12 fig13 fig14 join fig15 throughput coldstart update all")
+		fmt.Println("experiments: fig01 fig08 fig09 fig10 fig11 table1 fig12 fig13 fig14 join fig15 throughput coldstart update sharded all")
 		stopProfiles()
 		return
 	}
@@ -130,11 +135,11 @@ func main() {
 		cfg.Variants = variants
 	}
 
-	runner := newRunner(cfg, *workers)
+	runner := newRunner(cfg, *workers, *shards)
 	which := strings.ToLower(strings.TrimSpace(*exp))
 	names := []string{which}
 	if which == "all" {
-		names = []string{"fig01", "fig08", "fig09", "fig10", "fig11", "table1", "fig12", "fig13", "fig14", "join", "fig15", "throughput", "coldstart", "update"}
+		names = []string{"fig01", "fig08", "fig09", "fig10", "fig11", "table1", "fig12", "fig13", "fig14", "join", "fig15", "throughput", "coldstart", "update", "sharded"}
 	}
 	for _, name := range names {
 		if err := runner.run(name); err != nil {
@@ -148,11 +153,12 @@ func main() {
 type runner struct {
 	cfg     experiments.Config
 	workers int
+	shards  int
 	fig11   *experiments.Fig11Result // cached for table1
 }
 
-func newRunner(cfg experiments.Config, workers int) *runner {
-	return &runner{cfg: cfg, workers: workers}
+func newRunner(cfg experiments.Config, workers, shards int) *runner {
+	return &runner{cfg: cfg, workers: workers, shards: shards}
 }
 
 func (r *runner) run(name string) error {
@@ -243,6 +249,12 @@ func (r *runner) run(name string) error {
 			return err
 		}
 		tables = []*experiments.Table{res.Table()}
+	case "sharded":
+		res, err := experiments.RunSharded(r.cfg, r.shards, r.shards)
+		if err != nil {
+			return err
+		}
+		tables = res.Tables()
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	datagen -dataset axo03 -n 100000 -seed 7 -out axons.csv
+//	datagen -dataset hot02 -hotspots 4 -zipfs 2.0 -out hot.csv
 //	datagen -list
 package main
 
@@ -18,15 +19,18 @@ import (
 	"strconv"
 
 	"cbb/internal/datasets"
+	"cbb/internal/geom"
 )
 
 func main() {
 	var (
-		name = flag.String("dataset", "par02", "dataset to generate")
-		n    = flag.Int("n", 0, "number of objects (0 = dataset default)")
-		seed = flag.Int64("seed", 42, "random seed")
-		out  = flag.String("out", "", "output file (default stdout)")
-		list = flag.Bool("list", false, "list available datasets and exit")
+		name     = flag.String("dataset", "par02", "dataset to generate")
+		n        = flag.Int("n", 0, "number of objects (0 = dataset default)")
+		seed     = flag.Int64("seed", 42, "random seed")
+		out      = flag.String("out", "", "output file (default stdout)")
+		list     = flag.Bool("list", false, "list available datasets and exit")
+		hotspots = flag.Int("hotspots", 0, "hot02/hot03 only: number of hot regions (0 = default)")
+		zipfs    = flag.Float64("zipfs", 0, "hot02/hot03 only: zipf exponent weighting the hot regions, > 1 (0 = default)")
 	)
 	flag.Parse()
 
@@ -38,7 +42,13 @@ func main() {
 		return
 	}
 
-	objs, err := datasets.Generate(*name, *n, *seed)
+	var objs []geom.Rect
+	var err error
+	if *hotspots != 0 || *zipfs != 0 {
+		objs, err = datasets.GenerateHot(*name, *n, *seed, datasets.HotParams{Hotspots: *hotspots, ZipfS: *zipfs})
+	} else {
+		objs, err = datasets.Generate(*name, *n, *seed)
+	}
 	if err != nil {
 		fatal(err)
 	}

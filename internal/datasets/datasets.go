@@ -19,6 +19,13 @@
 //	neu03         — a mixture of axon-like and dendrite-like segments
 //	                (neurite-like).
 //
+// Two extra workloads beyond the paper's seven drive the sharded engine's
+// skew handling:
+//
+//	hot02 / hot03 — a few small hot regions receive a zipf-distributed share
+//	                of all objects over a thin uniform background, so
+//	                spatial partitions see extremely unbalanced populations.
+//
 // All generators are deterministic given (name, n, seed). See DESIGN.md §4
 // for the substitution rationale.
 package datasets
@@ -45,9 +52,13 @@ type Spec struct {
 	PaperSize int
 	// Description summarises what the generator emulates.
 	Description string
+	// Extension marks workloads added beyond the paper's seven datasets;
+	// the paper-reproduction experiments default to the non-extension set.
+	Extension bool
 }
 
-// Specs lists the seven datasets in the order the paper's figures use.
+// Specs lists the seven paper datasets in the order the paper's figures
+// use, followed by the hot-region workloads added for the sharded engine.
 var Specs = []Spec{
 	{Name: "par02", Dims: 2, DefaultSize: 40000, PaperSize: 1048576, Description: "synthetic 2d boxes with large size/shape variance"},
 	{Name: "par03", Dims: 3, DefaultSize: 40000, PaperSize: 1048576, Description: "synthetic 3d boxes with large size/shape variance"},
@@ -56,6 +67,8 @@ var Specs = []Spec{
 	{Name: "axo03", Dims: 3, DefaultSize: 40000, PaperSize: 2570016, Description: "axon-like thin 3d tubule segments"},
 	{Name: "den03", Dims: 3, DefaultSize: 40000, PaperSize: 1288251, Description: "dendrite-like branchy 3d tubule segments"},
 	{Name: "neu03", Dims: 3, DefaultSize: 40000, PaperSize: 3858267, Description: "neurite-like mixed 3d tubule segments"},
+	{Name: "hot02", Dims: 2, DefaultSize: 40000, PaperSize: 40000, Description: "skewed 2d boxes: zipf-weighted hot regions over a uniform background", Extension: true},
+	{Name: "hot03", Dims: 3, DefaultSize: 40000, PaperSize: 40000, Description: "skewed 3d boxes: zipf-weighted hot regions over a uniform background", Extension: true},
 }
 
 // Names returns the dataset names in figure order.
@@ -63,6 +76,18 @@ func Names() []string {
 	out := make([]string, len(Specs))
 	for i, s := range Specs {
 		out[i] = s.Name
+	}
+	return out
+}
+
+// PaperNames returns only the paper's seven dataset names, excluding the
+// extension workloads; the figure/table experiments default to this set.
+func PaperNames() []string {
+	var out []string
+	for _, s := range Specs {
+		if !s.Extension {
+			out = append(out, s.Name)
+		}
 	}
 	return out
 }
@@ -120,9 +145,107 @@ func Generate(name string, n int, seed int64) ([]geom.Rect, error) {
 		return genTubules(rng, n, tubuleParams{segments: 40, stepLen: 8, jitter: 0.5, radius: 0.9}), nil
 	case "neu03":
 		return genNeurites(rng, n), nil
+	case "hot02":
+		return genHotRegions(rng, n, 2, HotParams{}.withDefaults()), nil
+	case "hot03":
+		return genHotRegions(rng, n, 3, HotParams{}.withDefaults()), nil
 	default:
 		return nil, fmt.Errorf("datasets: generator for %q not implemented", name)
 	}
+}
+
+// HotParams tunes the skewed hot-region generators (hot02, hot03).
+type HotParams struct {
+	// Hotspots is the number of hot regions. Default 8.
+	Hotspots int
+	// ZipfS is the exponent of the zipf law weighting the regions; region
+	// rank r receives mass proportional to 1/(r+1)^s, so larger values
+	// concentrate more of the data in the first few regions. Must be > 1
+	// for the standard-library sampler. Default 1.4.
+	ZipfS float64
+	// Background is the fraction of objects drawn uniformly from the whole
+	// universe instead of from a hot region. Default 0.1.
+	Background float64
+}
+
+func (p HotParams) withDefaults() HotParams {
+	if p.Hotspots <= 0 {
+		p.Hotspots = 8
+	}
+	if p.ZipfS <= 1 {
+		p.ZipfS = 1.4
+	}
+	if p.Background <= 0 || p.Background >= 1 {
+		p.Background = 0.1
+	}
+	return p
+}
+
+// GenerateHot produces n objects of a skewed hot-region dataset ("hot02" or
+// "hot03") with explicit skew parameters; Generate uses the defaults. The
+// generator models write/read hotspots: a few small regions receive a
+// zipf-distributed share of all objects, over a thin uniform background.
+// Spatial partitions (such as Hilbert-range shards) therefore see extremely
+// unbalanced populations — the workload shard rebalancing exists for.
+func GenerateHot(name string, n int, seed int64, p HotParams) ([]geom.Rect, error) {
+	spec, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if name != "hot02" && name != "hot03" {
+		return nil, fmt.Errorf("datasets: %q is not a hot-region dataset", name)
+	}
+	if n <= 0 {
+		n = spec.DefaultSize
+	}
+	rng := rand.New(rand.NewSource(seed ^ int64(len(name))<<32))
+	return genHotRegions(rng, n, spec.Dims, p.withDefaults()), nil
+}
+
+// genHotRegions draws each object either uniformly (background) or from a
+// zipf-ranked Gaussian region: tight spreads and small extents inside the
+// regions, so the hot mass stays spatially concentrated.
+func genHotRegions(rng *rand.Rand, n, dims int, p HotParams) []geom.Rect {
+	type region struct {
+		c      geom.Point
+		spread float64
+	}
+	regions := make([]region, p.Hotspots)
+	for i := range regions {
+		c := make(geom.Point, dims)
+		for d := 0; d < dims; d++ {
+			c[d] = rng.Float64() * universeSide
+		}
+		regions[i] = region{c: c, spread: 80 + rng.Float64()*220}
+	}
+	zipf := rand.NewZipf(rng, p.ZipfS, 1, uint64(p.Hotspots-1))
+	out := make([]geom.Rect, 0, n)
+	for len(out) < n {
+		lo := make(geom.Point, dims)
+		hi := make(geom.Point, dims)
+		if rng.Float64() < p.Background {
+			// Background object: uniform centre, modest extent.
+			for d := 0; d < dims; d++ {
+				c := rng.Float64() * universeSide
+				ext := 1 + rng.Float64()*30
+				lo[d] = clamp(c-ext/2, 0, universeSide)
+				hi[d] = clamp(c+ext/2, 0, universeSide)
+			}
+		} else {
+			rg := regions[zipf.Uint64()]
+			for d := 0; d < dims; d++ {
+				c := clamp(rg.c[d]+rng.NormFloat64()*rg.spread, 0, universeSide)
+				ext := math.Exp(rng.NormFloat64()*0.8) * 2
+				if ext > 40 {
+					ext = 40
+				}
+				lo[d] = clamp(c-ext/2, 0, universeSide)
+				hi[d] = clamp(c+ext/2, 0, universeSide)
+			}
+		}
+		out = append(out, geom.Rect{Lo: lo, Hi: hi})
+	}
+	return out
 }
 
 // genParametric emulates the benchmark's parametric generator: centres are

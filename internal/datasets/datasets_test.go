@@ -1,6 +1,7 @@
 package datasets
 
 import (
+	"math"
 	"testing"
 
 	"cbb/internal/geom"
@@ -8,8 +9,8 @@ import (
 
 func TestNamesAndLookup(t *testing.T) {
 	names := Names()
-	if len(names) != 7 {
-		t.Fatalf("expected 7 datasets, got %d", len(names))
+	if len(names) != 9 {
+		t.Fatalf("expected 9 datasets, got %d", len(names))
 	}
 	for _, name := range names {
 		spec, err := Lookup(name)
@@ -25,6 +26,16 @@ func TestNamesAndLookup(t *testing.T) {
 	}
 	if _, err := Lookup("nope"); err == nil {
 		t.Error("unknown dataset should error")
+	}
+	paper := PaperNames()
+	if len(paper) != 7 {
+		t.Fatalf("expected 7 paper datasets, got %v", paper)
+	}
+	for _, name := range paper {
+		spec, _ := Lookup(name)
+		if spec.Extension {
+			t.Errorf("%s is an extension workload but listed by PaperNames", name)
+		}
 	}
 }
 
@@ -220,5 +231,84 @@ func BenchmarkGenerateAxons(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, _ = Generate("axo03", 10000, int64(i))
+	}
+}
+
+func TestHotRegionsAreSkewed(t *testing.T) {
+	// The hot workloads must be far more skewed than uniform data: with a
+	// zipf exponent of 1.4 the single hottest 10 %-cell should hold a large
+	// multiple of the average cell population, and raising the exponent
+	// should concentrate the data further.
+	for _, name := range []string{"hot02", "hot03"} {
+		t.Run(name, func(t *testing.T) {
+			spec, _ := Lookup(name)
+			objs, err := Generate(name, 8000, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			uni, _ := Universe(name)
+			cell := uni.Hi[0] / 10
+			counts := make(map[[3]int]int)
+			for _, o := range objs {
+				c := o.Center()
+				var key [3]int
+				for d := 0; d < spec.Dims; d++ {
+					key[d] = int(c[d] / cell)
+				}
+				counts[key]++
+			}
+			max := 0
+			for _, n := range counts {
+				if n > max {
+					max = n
+				}
+			}
+			cells := math.Pow(10, float64(spec.Dims))
+			avg := float64(len(objs)) / cells
+			if float64(max) < 5*avg {
+				t.Errorf("hot data not skewed enough: max cell %d vs avg %.1f", max, avg)
+			}
+		})
+	}
+}
+
+func TestGenerateHotParams(t *testing.T) {
+	// Explicit parameters: more hotspots spread the mass over more distinct
+	// regions; an invalid name errors; defaults match Generate.
+	few, err := GenerateHot("hot02", 4000, 3, HotParams{Hotspots: 2, ZipfS: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := GenerateHot("hot02", 4000, 3, HotParams{Hotspots: 64, ZipfS: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := func(objs []geom.Rect) int {
+		cell := universeSide / 20
+		seen := make(map[[2]int]bool)
+		for _, o := range objs {
+			c := o.Center()
+			seen[[2]int{int(c[0] / cell), int(c[1] / cell)}] = true
+		}
+		return len(seen)
+	}
+	if spread(few) >= spread(many) {
+		t.Errorf("2 hotspots cover %d cells, 64 hotspots cover %d; want fewer for fewer hotspots", spread(few), spread(many))
+	}
+	def, err := GenerateHot("hot03", 1000, 7, HotParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := Generate("hot03", 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range def {
+		if !def[i].Equal(gen[i]) {
+			t.Fatalf("GenerateHot defaults diverge from Generate at object %d", i)
+		}
+	}
+	if _, err := GenerateHot("par02", 100, 1, HotParams{}); err == nil {
+		t.Error("GenerateHot should reject non-hot datasets")
 	}
 }

@@ -65,7 +65,7 @@ func (c Config) WithDefaults() Config {
 		c.SamplesPerNode = 256
 	}
 	if len(c.Datasets) == 0 {
-		c.Datasets = datasets.Names()
+		c.Datasets = datasets.PaperNames()
 	}
 	if len(c.Variants) == 0 {
 		c.Variants = rtree.AllVariants()

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSharded(t *testing.T) {
+	res, err := RunSharded(tinyConfig(), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IngestRows) != 4 {
+		t.Fatalf("expected 4 ingest rows, got %d", len(res.IngestRows))
+	}
+	for _, row := range res.IngestRows {
+		if row.Items != 2500 || row.ItemsSec <= 0 || row.Speedup <= 0 {
+			t.Fatalf("degenerate ingest row: %+v", row)
+		}
+	}
+	if res.IngestRows[0].Shards != 1 || res.IngestRows[0].Writers != 1 {
+		t.Fatalf("first row must be the single-tree baseline, got %+v", res.IngestRows[0])
+	}
+	if len(res.SkewRows) != 2 {
+		t.Fatalf("expected 2 skew rows, got %d", len(res.SkewRows))
+	}
+	off, on := res.SkewRows[0], res.SkewRows[1]
+	if off.SplitAbove != 0 || off.Splits != 0 || off.FinalShards != off.StartShards {
+		t.Fatalf("splits-off run should not rebalance: %+v", off)
+	}
+	if on.SplitAbove <= 0 || on.Splits == 0 {
+		t.Fatalf("splits-on run over the zipf workload should split at least once: %+v", on)
+	}
+	if on.FinalShards <= off.FinalShards {
+		t.Fatalf("auto-splitting should increase the shard count: %d vs %d", on.FinalShards, off.FinalShards)
+	}
+	// The rebalanced layout must be less imbalanced than the static one.
+	if on.MaxLen >= off.MaxLen {
+		t.Errorf("rebalancing should cap the hottest shard: max %d (on) vs %d (off)", on.MaxLen, off.MaxLen)
+	}
+	if on.MaxLen > on.SplitAbove {
+		t.Errorf("a shard still exceeds the split threshold after ingest: %d > %d", on.MaxLen, on.SplitAbove)
+	}
+	for _, tbl := range res.Tables() {
+		s := tbl.String()
+		if !strings.Contains(s, "hot02") {
+			t.Errorf("table should mention the dataset:\n%s", s)
+		}
+	}
+}

@@ -20,6 +20,10 @@ import (
 // exceed it so that indices fit into a uint64).
 const MaxTotalBits = 63
 
+// MaxBitsPerDim is the largest curve order per dimension: cell coordinates
+// are uint32, so more than 32 bits per axis cannot be represented.
+const MaxBitsPerDim = 32
+
 // Curve maps points in a fixed bounding universe to positions on a Hilbert
 // curve of a given order. It is safe for concurrent use.
 type Curve struct {
@@ -38,6 +42,9 @@ func New(universe geom.Rect, bits int) (*Curve, error) {
 	}
 	if bits < 1 || dims*bits > MaxTotalBits {
 		return nil, fmt.Errorf("hilbert: dims*bits = %d exceeds %d", dims*bits, MaxTotalBits)
+	}
+	if bits > MaxBitsPerDim {
+		return nil, fmt.Errorf("hilbert: bits = %d exceeds %d per dimension", bits, MaxBitsPerDim)
 	}
 	if !universe.Valid() {
 		return nil, errors.New("hilbert: invalid universe rectangle")
@@ -62,8 +69,11 @@ func (c *Curve) Dims() int { return c.dims }
 func (c *Curve) Bits() int { return c.bits }
 
 // Index returns the Hilbert index of a point (clamped to the universe).
+// NaN coordinates map to cell 0 of their axis rather than producing an
+// undefined float-to-integer conversion.
 func (c *Curve) Index(p geom.Point) uint64 {
 	coords := make([]uint32, c.dims)
+	maxCell := float64(uint64(1)<<uint(c.bits) - 1)
 	for d := 0; d < c.dims; d++ {
 		v := p[d]
 		if v < c.universe.Lo[d] {
@@ -72,9 +82,24 @@ func (c *Curve) Index(p geom.Point) uint64 {
 		if v > c.universe.Hi[d] {
 			v = c.universe.Hi[d]
 		}
-		coords[d] = uint32((v - c.universe.Lo[d]) * c.scale[d])
+		// Clamp the scaled cell as well: float rounding can push a point on
+		// the universe boundary one cell past maxCell, and a NaN coordinate
+		// survives the interval clamp above (every comparison is false).
+		f := (v - c.universe.Lo[d]) * c.scale[d]
+		if !(f > 0) { // also catches NaN
+			f = 0
+		}
+		if f > maxCell {
+			f = maxCell
+		}
+		coords[d] = uint32(f)
 	}
 	return Encode(coords, c.bits)
+}
+
+// MaxIndex returns the largest index the curve can produce: 2^(dims*bits)-1.
+func (c *Curve) MaxIndex() uint64 {
+	return uint64(1)<<uint(c.dims*c.bits) - 1
 }
 
 // IndexRect returns the Hilbert index of the centre of a rectangle, which is
@@ -84,11 +109,18 @@ func (c *Curve) IndexRect(r geom.Rect) uint64 {
 }
 
 // Encode converts discrete coordinates (each < 2^bits) into a Hilbert index.
-// The slice is not modified.
+// Coordinates wider than bits are masked down to their low bits so that the
+// result always lies in [0, 2^(dims*bits)). The slice is not modified.
 func Encode(coords []uint32, bits int) uint64 {
 	n := len(coords)
 	x := make([]uint32, n)
 	copy(x, coords)
+	if bits < 32 {
+		mask := uint32(1)<<uint(bits) - 1
+		for i := range x {
+			x[i] &= mask
+		}
+	}
 	axesToTranspose(x, bits)
 	return interleave(x, bits)
 }

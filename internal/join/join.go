@@ -157,6 +157,122 @@ func PINLJSide(in Side, probes []rtree.Item, workers int, visit func(Pair)) (Res
 	return res, nil
 }
 
+// PINLJSides is PINLJ against a set of bound snapshots that together form
+// one logical index — the entry point of sharded joins, where every shard
+// contributes one Side and each object lives in exactly one shard. Every
+// probe is run against every side whose root MBB it intersects (the
+// directory-level skip is not charged as I/O, mirroring how the sharded
+// engine routes queries); the pair set is the union over sides, exact and
+// duplicate-free because the sides partition the objects. The per-side I/O
+// is folded back into each side's tree counter, so shard-level IOStats stay
+// exact regardless of worker count.
+func PINLJSides(sides []Side, probes []rtree.Item, workers int, visit func(Pair)) (Result, error) {
+	for i := range sides {
+		if err := sides[i].validate("indexed"); err != nil {
+			return Result{}, err
+		}
+	}
+	workers = parallel.EffectiveWorkers(workers, len(probes))
+	if len(probes) == 0 || len(sides) == 0 {
+		return Result{}, nil
+	}
+
+	emit := serializedVisit(visit, workers)
+
+	// One private counter per (worker, side) cell: every node access is
+	// charged to exactly one cell, so the fold below is exact whether the
+	// sides share one tree counter (the sharded engine) or use distinct ones.
+	ctrs := make([][]storage.Counter, workers)
+	for w := range ctrs {
+		ctrs[w] = make([]storage.Counter, len(sides))
+	}
+
+	var pairs int64
+	parallel.ForEachChunk(len(probes), workers, func(w, start, end int, _ *storage.Counter) {
+		var local int64
+		for i := start; i < end; i++ {
+			probe := probes[i]
+			for si := range sides {
+				s := &sides[si]
+				if s.V.RootID() == rtree.InvalidNode || !s.V.RootMBBIntersects(probe.Rect) {
+					continue
+				}
+				s.search(probe.Rect, &ctrs[w][si], func(id rtree.ObjectID, _ geom.Rect) bool {
+					local++
+					if emit != nil {
+						emit(Pair{Left: id, Right: probe.Object})
+					}
+					return true
+				})
+			}
+		}
+		atomic.AddInt64(&pairs, local)
+	})
+
+	res := Result{Pairs: pairs}
+	for si := range sides {
+		var io storage.Snapshot
+		for w := range ctrs {
+			io = io.Add(ctrs[w][si].Snapshot())
+		}
+		sides[si].Tree.Counter().Add(io)
+		res.IO = res.IO.Add(io)
+	}
+	return res, nil
+}
+
+// SidePair is one (left, right) input combination of a sharded STT join.
+type SidePair struct {
+	Left, Right Side
+}
+
+// PSTTSidePairs runs a synchronised tree traversal join over a set of side
+// pairs — the cross product of intersecting shards when both inputs are
+// sharded — and sums the results. Because each object lives in exactly one
+// shard per input, each intersecting object pair appears in exactly one
+// side pair, so the summed pair count equals the unsharded join's. Pairs
+// are partitioned over the workers; each pair's traversal runs sequentially
+// and folds its I/O into its own trees' counters, exactly like PSTTSides.
+func PSTTSidePairs(sidePairs []SidePair, workers int, visit func(Pair)) (Result, error) {
+	for i := range sidePairs {
+		if err := sidePairs[i].Left.validate("left"); err != nil {
+			return Result{}, err
+		}
+		if err := sidePairs[i].Right.validate("right"); err != nil {
+			return Result{}, err
+		}
+	}
+	workers = parallel.EffectiveWorkers(workers, len(sidePairs))
+	if len(sidePairs) == 0 {
+		return Result{}, nil
+	}
+
+	emit := serializedVisit(visit, workers)
+
+	results := make([]Result, len(sidePairs))
+	var firstErr atomic.Pointer[error]
+	parallel.ForEachChunk(len(sidePairs), workers, func(_, start, end int, _ *storage.Counter) {
+		for i := start; i < end; i++ {
+			r, err := PSTTSides(sidePairs[i].Left, sidePairs[i].Right, 1, emit)
+			if err != nil {
+				firstErr.CompareAndSwap(nil, &err)
+				return
+			}
+			results[i] = r
+		}
+	})
+	if errp := firstErr.Load(); errp != nil {
+		return Result{}, *errp
+	}
+
+	var res Result
+	for _, r := range results {
+		res.Pairs += r.Pairs
+		res.IO = res.IO.Add(r.IO)
+	}
+	return res, nil
+}
+
 // STT performs a synchronised tree traversal join of two indexed inputs.
 // When clip indexes are provided (either may be nil), the traversal applies
 // the dominance tests of Algorithm 2 in both directions before descending

@@ -250,6 +250,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Dims*c.HilbertBits > hilbert.MaxTotalBits {
 		c.HilbertBits = hilbert.MaxTotalBits / c.Dims
 	}
+	if c.HilbertBits > hilbert.MaxBitsPerDim {
+		c.HilbertBits = hilbert.MaxBitsPerDim
+	}
 	if c.ReinsertFraction <= 0 || c.ReinsertFraction >= 0.5 {
 		c.ReinsertFraction = 0.3
 	}
@@ -1116,5 +1119,18 @@ func (t *Tree) All() []Entry {
 			out = append(out, info.Children...)
 		}
 	})
+	return out
+}
+
+// AllItems returns every object as bulk-load items, in no particular order,
+// without charging I/O. It is the export hook for shard rebuilds: the
+// sharded engine enumerates a shard with AllItems, partitions the items by
+// Hilbert key, and BulkLoads each half into a fresh tree.
+func (t *Tree) AllItems() []Item {
+	entries := t.All()
+	out := make([]Item, len(entries))
+	for i, e := range entries {
+		out[i] = Item{Object: e.Object, Rect: e.Rect}
+	}
 	return out
 }

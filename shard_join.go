@@ -1,0 +1,103 @@
+package cbb
+
+import (
+	"errors"
+
+	"cbb/internal/join"
+	"cbb/internal/rtree"
+)
+
+// Sharded spatial joins: each shard contributes one epoch-consistent
+// join.Side, and because every object lives in exactly one shard, the union
+// over sides (INLJ) or over the cross product of bounds-intersecting shard
+// pairs (STT) produces each intersecting pair exactly once — the result set
+// equals the unsharded join's. Reported I/O legitimately differs from the
+// single-tree join: the trees are smaller and the directory-level shard
+// skip is free.
+
+// sides returns one bound join input per pinned shard view.
+func (sv *ShardedView) sides() []join.Side {
+	out := make([]join.Side, len(sv.views))
+	for i, v := range sv.views {
+		out[i] = v.side()
+	}
+	return out
+}
+
+// IndexNestedLoopJoinSharded joins a sharded index with a set of probe
+// items: every probe is run as a range query against each shard whose
+// bounds it intersects, at one internally acquired ShardedView. The
+// optional visit callback receives every matching pair; pass nil to only
+// count.
+func IndexNestedLoopJoinSharded(indexed *ShardedTree, probes []Item, opts JoinOptions, visit func(JoinPair)) (JoinResult, error) {
+	if indexed == nil {
+		return JoinResult{}, errors.New("cbb: IndexNestedLoopJoinSharded requires an indexed sharded tree")
+	}
+	v := indexed.Snapshot()
+	defer v.Close()
+	return IndexNestedLoopJoinShardedView(v, probes, opts, visit)
+}
+
+// IndexNestedLoopJoinShardedView is IndexNestedLoopJoinSharded against an
+// explicitly pinned sharded view: the whole join runs at the view's epochs
+// regardless of concurrent writers.
+func IndexNestedLoopJoinShardedView(indexed *ShardedView, probes []Item, opts JoinOptions, visit func(JoinPair)) (JoinResult, error) {
+	if indexed == nil {
+		return JoinResult{}, errors.New("cbb: IndexNestedLoopJoinShardedView requires a sharded view")
+	}
+	var cb func(join.Pair)
+	if visit != nil {
+		cb = func(p join.Pair) { visit(JoinPair{Left: p.Left, Right: p.Right}) }
+	}
+	res, err := join.PINLJSides(indexed.sides(), probes, opts.Workers, cb)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	return JoinResult{Pairs: res.Pairs, IO: toIOStats(res.IO)}, nil
+}
+
+// SynchronizedTreeTraversalJoinSharded joins two sharded indexes by
+// synchronized traversal over every bounds-intersecting pair of shards, at
+// one internally acquired ShardedView per input.
+func SynchronizedTreeTraversalJoinSharded(left, right *ShardedTree, opts JoinOptions, visit func(JoinPair)) (JoinResult, error) {
+	if left == nil || right == nil {
+		return JoinResult{}, errors.New("cbb: SynchronizedTreeTraversalJoinSharded requires two sharded trees")
+	}
+	lv := left.Snapshot()
+	defer lv.Close()
+	rv := right.Snapshot()
+	defer rv.Close()
+	return SynchronizedTreeTraversalJoinShardedViews(lv, rv, opts, visit)
+}
+
+// SynchronizedTreeTraversalJoinShardedViews is the view-based sharded STT
+// join: the admissible shard pairs (those whose pinned bounds intersect)
+// are partitioned over the workers, and each pair runs the same clipped
+// synchronized traversal as the single-tree join at the views' epochs.
+func SynchronizedTreeTraversalJoinShardedViews(left, right *ShardedView, opts JoinOptions, visit func(JoinPair)) (JoinResult, error) {
+	if left == nil || right == nil {
+		return JoinResult{}, errors.New("cbb: SynchronizedTreeTraversalJoinShardedViews requires two sharded views")
+	}
+	var cb func(join.Pair)
+	if visit != nil {
+		cb = func(p join.Pair) { visit(JoinPair{Left: p.Left, Right: p.Right}) }
+	}
+	var pairs []join.SidePair
+	for _, lv := range left.views {
+		if lv.v.RootID() == rtree.InvalidNode {
+			continue
+		}
+		lb := lv.Bounds()
+		for _, rv := range right.views {
+			if rv.v.RootID() == rtree.InvalidNode || !lb.Intersects(rv.Bounds()) {
+				continue
+			}
+			pairs = append(pairs, join.SidePair{Left: lv.side(), Right: rv.side()})
+		}
+	}
+	res, err := join.PSTTSidePairs(pairs, opts.Workers, cb)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	return JoinResult{Pairs: res.Pairs, IO: toIOStats(res.IO)}, nil
+}
