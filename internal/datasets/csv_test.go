@@ -1,0 +1,38 @@
+package datasets
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadCSV(t *testing.T) {
+	in := "# comment\n1,2,3,4\n\n0.5, 1.5 ,2.5,3.5\n"
+	objs, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 || objs[0].Dims() != 2 {
+		t.Fatalf("got %d objects of %d dims", len(objs), objs[0].Dims())
+	}
+	if objs[1].Lo[0] != 0.5 || objs[1].Hi[1] != 3.5 {
+		t.Fatalf("parsed rect wrong: %v", objs[1])
+	}
+	u := BoundingUniverse(objs)
+	if u.Lo[0] != 0.5 || u.Hi[0] != 3 || u.Hi[1] != 4 {
+		t.Fatalf("bounding universe wrong: %v", u)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	for _, in := range []string{
+		"",             // no objects
+		"1,2,3",        // odd field count
+		"1,2,3,4\n1,2", // dims mismatch
+		"a,2,3,4",      // bad number
+		"5,5,1,1",      // hi < lo
+	} {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: want error", in)
+		}
+	}
+}

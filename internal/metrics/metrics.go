@@ -9,6 +9,12 @@
 // bounding box of that node can address. The sample budget is configurable;
 // the defaults keep whole-tree statistics under a second for the harness
 // scales.
+//
+// This package is offline paper-evaluation instrumentation, not runtime
+// observability: it walks a tree on demand and is priced accordingly
+// (Monte-Carlo sampling per node). Serving-time metrics — request counters,
+// in-flight gauges, latency histograms, the /metrics endpoint of cbbserve —
+// live in cbb/internal/telemetry, which is always-on and lock-cheap.
 package metrics
 
 import (

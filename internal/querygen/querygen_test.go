@@ -1,6 +1,7 @@
 package querygen
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
@@ -66,6 +67,46 @@ func TestQueriesDeterministic(t *testing.T) {
 		if !qa[i].Equal(qb[i]) {
 			t.Fatalf("same seed produced different query %d", i)
 		}
+	}
+}
+
+// TestReplayByteIdentical is the load-replay contract cmd/cbbload depends
+// on: two fully independent passes — dataset regeneration from the seed,
+// generator construction, and an interleaved multi-profile query stream —
+// must produce byte-for-byte identical float64 coordinates, not merely
+// approximately equal ones. A replayed workload is then exactly the
+// recorded workload.
+func TestReplayByteIdentical(t *testing.T) {
+	replay := func() []byte {
+		objs, err := datasets.Generate("par02", 4000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uni, err := datasets.Universe("par02")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := New(objs, uni, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf []byte
+		// Interleave profiles the way a mixed workload would.
+		for i := 0; i < 300; i++ {
+			q := g.Query(AllProfiles()[i%3])
+			for _, p := range [...]geom.Point{q.Lo, q.Hi} {
+				for _, v := range p {
+					bits := math.Float64bits(v)
+					for s := 0; s < 64; s += 8 {
+						buf = append(buf, byte(bits>>s))
+					}
+				}
+			}
+		}
+		return buf
+	}
+	if !bytes.Equal(replay(), replay()) {
+		t.Fatal("same seed and config produced a different byte sequence on replay")
 	}
 }
 

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// The serving-path microbenchmarks drive the HTTP handler in-process (no
+// network, no real listener) so BENCH_baseline.json can track serving-layer
+// regressions — JSON decode, admission, snapshot pin, query, JSON encode —
+// independently of kernel TCP behaviour.
+
+func benchServer(b *testing.B, window time.Duration) *Server {
+	b.Helper()
+	tree := buildTree(b, 20000)
+	s, err := New(Config{
+		Engine:           NewTreeEngine(tree, false),
+		CoalesceWindow:   window,
+		CoalesceMaxBatch: 16,
+		SearchWorkers:    1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkServeSearch measures one uncoalesced point search through the
+// full handler stack.
+func BenchmarkServeSearch(b *testing.B) {
+	s := benchServer(b, -1)
+	body, _ := json.Marshal(SearchRequest{
+		Query:     RectJSON{Lo: []float64{40, 40}, Hi: []float64{45, 45}},
+		CountOnly: true,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := httptest.NewRequest(http.MethodPost, "/search", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			b.Fatalf("code = %d: %s", w.Code, w.Body.String())
+		}
+	}
+}
+
+// BenchmarkServeSearchAll measures an explicit 64-query batch on one
+// pinned view through the handler stack (per-op time is for the whole
+// batch).
+func BenchmarkServeSearchAll(b *testing.B) {
+	s := benchServer(b, -1)
+	queries := make([]RectJSON, 64)
+	for i := range queries {
+		lo := float64(i % 50)
+		queries[i] = RectJSON{Lo: []float64{lo, lo}, Hi: []float64{lo + 5, lo + 5}}
+	}
+	body, _ := json.Marshal(SearchAllRequest{Queries: queries, Workers: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := httptest.NewRequest(http.MethodPost, "/searchall", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			b.Fatalf("code = %d: %s", w.Code, w.Body.String())
+		}
+	}
+}
+
+// BenchmarkServeSearchCoalesced measures the coalescing path under
+// concurrent clients: parallel point searches share micro-batches and one
+// pinned view per batch.
+func BenchmarkServeSearchCoalesced(b *testing.B) {
+	s := benchServer(b, 100*time.Microsecond)
+	body, _ := json.Marshal(SearchRequest{
+		Query:     RectJSON{Lo: []float64{40, 40}, Hi: []float64{45, 45}},
+		CountOnly: true,
+	})
+	b.ReportAllocs()
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r := httptest.NewRequest(http.MethodPost, "/search", bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			s.ServeHTTP(w, r)
+			if w.Code != http.StatusOK {
+				b.Fatalf("code = %d: %s", w.Code, w.Body.String())
+			}
+		}
+	})
+}

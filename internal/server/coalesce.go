@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"cbb"
+	"cbb/internal/telemetry"
+)
+
+// coalescer micro-batches concurrent point searches: requests arriving
+// within one coalescing window (or until the batch cap) are answered by a
+// single BatchSearch on a single pinned view. That amortises the snapshot
+// pin and the per-query dispatch over the batch and keeps every member of
+// the batch on one committed epoch — the batch can never mix epochs.
+//
+// The flush happens on whichever comes first: the window timer expiring or
+// the pending queue reaching maxBatch. The view is pinned at flush time,
+// i.e. after every member request has arrived, so a sequential client's
+// observed epochs are monotonically non-decreasing even through the
+// coalescing path.
+type coalescer struct {
+	eng     Engine
+	window  time.Duration
+	max     int
+	workers int
+
+	mu      sync.Mutex
+	pending []*pendingSearch
+
+	// telemetry
+	batches   *telemetry.Counter
+	coalesced *telemetry.Counter
+	batchSize *telemetry.Histogram
+}
+
+// pendingSearch is one enqueued point query; done is buffered so a flush
+// never blocks on a caller that gave up.
+type pendingSearch struct {
+	q    cbb.Rect
+	done chan searchOutcome
+}
+
+// searchOutcome is what the flush hands back to each member request.
+type searchOutcome struct {
+	epochs  []uint64
+	items   []cbb.Item
+	batched int
+	err     error
+}
+
+func newCoalescer(eng Engine, window time.Duration, max, workers int,
+	batches, coalesced *telemetry.Counter, batchSize *telemetry.Histogram) *coalescer {
+	if max < 1 {
+		max = 1
+	}
+	return &coalescer{
+		eng: eng, window: window, max: max, workers: workers,
+		batches: batches, coalesced: coalesced, batchSize: batchSize,
+	}
+}
+
+// submit enqueues one query and waits for its outcome or ctx cancellation.
+// A canceled request's slot is still answered by the flush (into the
+// buffered channel) and simply discarded.
+func (c *coalescer) submit(ctx context.Context, q cbb.Rect) searchOutcome {
+	p := &pendingSearch{q: q, done: make(chan searchOutcome, 1)}
+	c.mu.Lock()
+	c.pending = append(c.pending, p)
+	n := len(c.pending)
+	if n >= c.max {
+		batch := c.pending
+		c.pending = nil
+		c.mu.Unlock()
+		go c.flush(batch)
+	} else {
+		if n == 1 {
+			// First member arms the window timer. A cap-triggered flush may
+			// empty the queue before it fires; the timer then flushes
+			// whatever has accumulated since (possibly nothing).
+			time.AfterFunc(c.window, c.flushPending)
+		}
+		c.mu.Unlock()
+	}
+	select {
+	case out := <-p.done:
+		return out
+	case <-ctx.Done():
+		return searchOutcome{err: ctx.Err()}
+	}
+}
+
+func (c *coalescer) flushPending() {
+	c.mu.Lock()
+	batch := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	c.flush(batch)
+}
+
+// flush answers one batch from one pinned view.
+func (c *coalescer) flush(batch []*pendingSearch) {
+	if len(batch) == 0 {
+		return
+	}
+	c.batches.Inc()
+	c.coalesced.Add(int64(len(batch)))
+	c.batchSize.Observe(int64(len(batch)))
+
+	view := c.eng.Snapshot()
+	defer view.Close()
+	queries := make([]cbb.Rect, len(batch))
+	for i, p := range batch {
+		queries[i] = p.q
+	}
+	res, err := view.BatchSearch(queries, cbb.BatchOptions{Collect: true, Workers: c.workers})
+	if err != nil {
+		for _, p := range batch {
+			p.done <- searchOutcome{err: err}
+		}
+		return
+	}
+	epochs := view.Epochs()
+	for i, p := range batch {
+		p.done <- searchOutcome{epochs: epochs, items: res.Items[i], batched: len(batch)}
+	}
+}

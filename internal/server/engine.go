@@ -1,0 +1,223 @@
+package server
+
+import (
+	"errors"
+
+	"cbb"
+)
+
+// Engine is the serving layer's view of the index: the subset of the public
+// cbb surface the HTTP handlers need, implemented by both the single-tree
+// and the Hilbert-sharded engine. Snapshot pins a read view (the serving
+// layer pins one view per read request, or one per coalesced batch, so a
+// response is always answered from a single committed epoch), and writes go
+// through the engines' own single-writer/atomic-batch discipline.
+type Engine interface {
+	// Snapshot pins a read view of the last committed state.
+	Snapshot() ReadView
+	// Epochs reports the commit epochs of the last committed state (one
+	// element per shard; a single tree has exactly one).
+	Epochs() []uint64
+	// Insert adds one object, published atomically.
+	Insert(r cbb.Rect, id cbb.ObjectID) error
+	// Apply applies a write batch atomically: readers observe all of it or
+	// none of it. found is the number of delete ops that found their
+	// object.
+	Apply(ops []WriteOp) (found int, err error)
+	// Len is the number of indexed objects at the last committed state.
+	Len() int
+	// Stats, IOStats and BufferStats surface engine-side statistics into
+	// /stats and /metrics.
+	Stats() cbb.Stats
+	IOStats() cbb.IOStats
+	BufferStats() (cbb.BufferStats, bool)
+	// Persistent reports whether the engine is bound to snapshot file(s);
+	// Shutdown only attempts a durable flush when it is.
+	Persistent() bool
+	// Flush commits the current state durably (file-backed engines only).
+	Flush() error
+	// Close flushes (when writable and file-backed) and releases the
+	// engine.
+	Close() error
+}
+
+// ReadView is one pinned snapshot: every operation answers at the view's
+// epoch(s), regardless of concurrent writers. It must be released with
+// Close.
+type ReadView interface {
+	Epochs() []uint64
+	Search(q cbb.Rect, visit func(cbb.ObjectID, cbb.Rect) bool)
+	Count(q cbb.Rect) int
+	NearestNeighbors(k int, p cbb.Point) []cbb.Neighbor
+	BatchSearch(queries []cbb.Rect, opts cbb.BatchOptions) (cbb.BatchResult, error)
+	Join(probes []cbb.Item, opts cbb.JoinOptions, visit func(cbb.JoinPair)) (cbb.JoinResult, error)
+	Close()
+}
+
+// WriteOp is one mutation of a /batch request.
+type WriteOp struct {
+	Delete bool
+	Rect   cbb.Rect
+	ID     cbb.ObjectID
+}
+
+// --- single-tree engine -------------------------------------------------------
+
+// treeEngine adapts a *cbb.Tree.
+type treeEngine struct {
+	t          *cbb.Tree
+	persistent bool
+}
+
+// NewTreeEngine wraps a single tree for serving. persistent marks a tree
+// bound to a snapshot file (Create/Open), enabling the durable flush on
+// shutdown.
+func NewTreeEngine(t *cbb.Tree, persistent bool) Engine {
+	return &treeEngine{t: t, persistent: persistent}
+}
+
+func (e *treeEngine) Snapshot() ReadView { return treeView{e.t.Snapshot()} }
+
+func (e *treeEngine) Epochs() []uint64 {
+	v := e.t.Snapshot()
+	defer v.Close()
+	return []uint64{v.Epoch()}
+}
+
+func (e *treeEngine) Insert(r cbb.Rect, id cbb.ObjectID) error { return e.t.Insert(r, id) }
+
+func (e *treeEngine) Apply(ops []WriteOp) (int, error) {
+	b, err := e.t.Begin()
+	if err != nil {
+		return 0, err
+	}
+	defer b.Rollback()
+	found := 0
+	for _, op := range ops {
+		if op.Delete {
+			ok, err := b.Delete(op.Rect, op.ID)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				found++
+			}
+		} else if err := b.Insert(op.Rect, op.ID); err != nil {
+			return 0, err
+		}
+	}
+	return found, b.Commit()
+}
+
+func (e *treeEngine) Len() int                             { return e.t.Len() }
+func (e *treeEngine) Stats() cbb.Stats                     { return e.t.Stats() }
+func (e *treeEngine) IOStats() cbb.IOStats                 { return e.t.IOStats() }
+func (e *treeEngine) BufferStats() (cbb.BufferStats, bool) { return e.t.BufferStats() }
+func (e *treeEngine) Persistent() bool                     { return e.persistent }
+func (e *treeEngine) Flush() error {
+	if !e.persistent {
+		return nil
+	}
+	return e.t.Flush()
+}
+func (e *treeEngine) Close() error { return e.t.Close() }
+
+// treeView adapts a *cbb.View.
+type treeView struct{ v *cbb.View }
+
+func (t treeView) Epochs() []uint64 { return []uint64{t.v.Epoch()} }
+func (t treeView) Search(q cbb.Rect, visit func(cbb.ObjectID, cbb.Rect) bool) {
+	t.v.Search(q, visit)
+}
+func (t treeView) Count(q cbb.Rect) int { return t.v.Count(q) }
+func (t treeView) NearestNeighbors(k int, p cbb.Point) []cbb.Neighbor {
+	return t.v.NearestNeighbors(k, p)
+}
+func (t treeView) BatchSearch(queries []cbb.Rect, opts cbb.BatchOptions) (cbb.BatchResult, error) {
+	return t.v.BatchSearch(queries, opts)
+}
+func (t treeView) Join(probes []cbb.Item, opts cbb.JoinOptions, visit func(cbb.JoinPair)) (cbb.JoinResult, error) {
+	return cbb.IndexNestedLoopJoinView(t.v, probes, opts, visit)
+}
+func (t treeView) Close() { t.v.Close() }
+
+// --- sharded engine -----------------------------------------------------------
+
+// shardedEngine adapts a *cbb.ShardedTree.
+type shardedEngine struct {
+	st         *cbb.ShardedTree
+	persistent bool
+}
+
+// NewShardedEngine wraps a sharded tree for serving. persistent marks an
+// engine bound to a shard directory (CreateSharded/OpenSharded).
+func NewShardedEngine(st *cbb.ShardedTree, persistent bool) Engine {
+	return &shardedEngine{st: st, persistent: persistent}
+}
+
+func (e *shardedEngine) Snapshot() ReadView { return shardedView{e.st.Snapshot()} }
+
+func (e *shardedEngine) Epochs() []uint64 {
+	v := e.st.Snapshot()
+	defer v.Close()
+	return v.Epochs()
+}
+
+func (e *shardedEngine) Insert(r cbb.Rect, id cbb.ObjectID) error { return e.st.Insert(r, id) }
+
+func (e *shardedEngine) Apply(ops []WriteOp) (int, error) {
+	b, err := e.st.Begin()
+	if err != nil {
+		return 0, err
+	}
+	defer b.Rollback()
+	found := 0
+	for _, op := range ops {
+		if op.Delete {
+			ok, err := b.Delete(op.Rect, op.ID)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				found++
+			}
+		} else if err := b.Insert(op.Rect, op.ID); err != nil {
+			return 0, err
+		}
+	}
+	return found, b.Commit()
+}
+
+func (e *shardedEngine) Len() int                             { return e.st.Len() }
+func (e *shardedEngine) Stats() cbb.Stats                     { return e.st.Stats() }
+func (e *shardedEngine) IOStats() cbb.IOStats                 { return e.st.IOStats() }
+func (e *shardedEngine) BufferStats() (cbb.BufferStats, bool) { return e.st.BufferStats() }
+func (e *shardedEngine) Persistent() bool                     { return e.persistent }
+func (e *shardedEngine) Flush() error {
+	if !e.persistent {
+		return nil
+	}
+	return e.st.Flush()
+}
+func (e *shardedEngine) Close() error { return e.st.Close() }
+
+// shardedView adapts a *cbb.ShardedView.
+type shardedView struct{ v *cbb.ShardedView }
+
+func (s shardedView) Epochs() []uint64 { return s.v.Epochs() }
+func (s shardedView) Search(q cbb.Rect, visit func(cbb.ObjectID, cbb.Rect) bool) {
+	s.v.Search(q, visit)
+}
+func (s shardedView) Count(q cbb.Rect) int { return s.v.Count(q) }
+func (s shardedView) NearestNeighbors(k int, p cbb.Point) []cbb.Neighbor {
+	return s.v.NearestNeighbors(k, p)
+}
+func (s shardedView) BatchSearch(queries []cbb.Rect, opts cbb.BatchOptions) (cbb.BatchResult, error) {
+	return s.v.BatchSearch(queries, opts)
+}
+func (s shardedView) Join(probes []cbb.Item, opts cbb.JoinOptions, visit func(cbb.JoinPair)) (cbb.JoinResult, error) {
+	return cbb.IndexNestedLoopJoinShardedView(s.v, probes, opts, visit)
+}
+func (s shardedView) Close() { s.v.Close() }
+
+var errNoEngine = errors.New("server: Config.Engine is required")
