@@ -1,0 +1,99 @@
+package cbb
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkBatchIngest measures the fast batch-ingest pipeline against the
+// per-item insert loop it replaces: batch sizes from trivial (8, where the
+// fast path degenerates to per-item) through graft-heavy (4096, 65536),
+// with and without clip maintenance, in memory and file-backed. For the
+// file-backed rows both modes provide the same durability contract — the
+// data is on disk when the timed region ends — so the per-item loop flushes
+// after every insert (per-op commit, what an incremental durable writer
+// pays) while the batch path rides one group-committed flush. Each
+// iteration ingests the whole batch into a freshly seeded 2000-object tree;
+// items/s is the headline metric, allocs/op shows the batch-amortised COW.
+func BenchmarkBatchIngest(b *testing.B) {
+	const seedN = 2000
+	seed := corpusItems(2, seedN, 101)
+	for _, cm := range []ClipMethod{ClipNone, ClipStairline} {
+		for _, size := range []int{8, 256, 4096, 65536} {
+			batch := corpusItems(2, size, 103)
+			for i := range batch {
+				batch[i].Object = ObjectID(1000000 + i)
+			}
+			for _, mode := range []string{"per-item", "batch"} {
+				for _, store := range []string{"mem", "file"} {
+					if store == "file" && size != 4096 {
+						continue // one file-backed size keeps the matrix honest without dwarfing it
+					}
+					name := fmt.Sprintf("clip=%s/n=%d/%s/%s", cm, size, mode, store)
+					b.Run(name, func(b *testing.B) {
+						opts := Options{Dims: 2, Clipping: cm, MaxEntries: 16, MinEntries: 6}
+						dir := b.TempDir()
+						b.ReportAllocs()
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							b.StopTimer()
+							var tree *Tree
+							var err error
+							if store == "file" {
+								tree, err = Create(filepath.Join(dir, fmt.Sprintf("b%d.cbb", i)), opts)
+							} else {
+								tree, err = New(opts)
+							}
+							if err != nil {
+								b.Fatal(err)
+							}
+							if err := tree.BulkLoad(seed); err != nil {
+								b.Fatal(err)
+							}
+							if store == "file" {
+								if err := tree.Flush(); err != nil {
+									b.Fatal(err)
+								}
+							}
+							b.StartTimer()
+							if mode == "batch" {
+								if err := tree.InsertItems(batch); err != nil {
+									b.Fatal(err)
+								}
+							} else {
+								for _, it := range batch {
+									if err := tree.Insert(it.Rect, it.Object); err != nil {
+										b.Fatal(err)
+									}
+									if store == "file" {
+										if err := tree.Flush(); err != nil {
+											b.Fatal(err)
+										}
+									}
+								}
+							}
+							if store == "file" {
+								if err := tree.Flush(); err != nil {
+									b.Fatal(err)
+								}
+							}
+							b.StopTimer()
+							if tree.Len() != seedN+size {
+								b.Fatalf("Len %d, want %d", tree.Len(), seedN+size)
+							}
+							if store == "file" {
+								if err := tree.Close(); err != nil {
+									b.Fatal(err)
+								}
+							}
+							b.StartTimer()
+						}
+						b.StopTimer()
+						b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "items/s")
+					})
+				}
+			}
+		}
+	}
+}

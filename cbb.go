@@ -307,6 +307,30 @@ func (t *Tree) insertLocked(r Rect, id ObjectID) error {
 	return err
 }
 
+// InsertItems adds a batch of objects through the fast batch-insert
+// pipeline and publishes them to readers as one atomic epoch: the batch is
+// Hilbert-sorted, contiguous runs that share a target leaf are placed (or
+// bulk-packed into grafted subtrees) together, every touched node is
+// copy-on-write cloned at most once, and with clipping enabled the clip
+// table is maintained once from the aggregated trace. A batch on an empty
+// tree is bulk packed like BulkLoad. Equivalent to inserting each item
+// individually — the same objects become searchable with identical result
+// sets — but 10-100× cheaper for large batches. Inside an explicit Batch
+// use Batch.InsertItems instead.
+func (t *Tree) InsertItems(items []Item) error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	return t.insertItemsLocked(items)
+}
+
+func (t *Tree) insertItemsLocked(items []Item) error {
+	if t.idx != nil {
+		return t.idx.InsertItems(items)
+	}
+	_, err := t.tree.InsertItems(items)
+	return err
+}
+
 // Delete removes the object with the exact rectangle and id. It reports
 // whether the object was found. Like Insert, the removal is published to
 // readers atomically on return.

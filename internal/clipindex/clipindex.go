@@ -416,24 +416,34 @@ func (x *Index) RebuildAll() {
 	// starts from a fresh private store rather than wiping them in place.
 	x.store = clipStore{}
 	x.storeShared = false
+	var scratch []geom.Rect
 	x.tree.Walk(func(info rtree.NodeInfo) {
-		x.reclipNode(info)
+		scratch = x.reclipNodeInto(info, scratch)
 	})
 	x.publishIfAuto()
 }
 
 // reclipNode recomputes one node's clip points from a node snapshot.
 func (x *Index) reclipNode(info rtree.NodeInfo) {
-	children := make([]geom.Rect, len(info.Children))
+	x.reclipNodeInto(info, nil)
+}
+
+// reclipNodeInto is reclipNode with a caller-owned scratch buffer for the
+// child rectangles; core.Clip only reads them, so whole-table rebuild walks
+// reuse one buffer across every node instead of allocating per node. It
+// returns the (possibly grown) buffer for the next call.
+func (x *Index) reclipNodeInto(info rtree.NodeInfo, scratch []geom.Rect) []geom.Rect {
+	children := scratch[:0]
 	for i := range info.Children {
-		children[i] = info.Children[i].Rect
+		children = append(children, info.Children[i].Rect)
 	}
 	clips := core.Clip(info.MBB, children, x.params)
 	if len(clips) == 0 {
 		x.delClips(info.ID)
-		return
+		return children
 	}
 	x.setClips(info.ID, clips)
+	return children
 }
 
 // reclipByID recomputes one node's clip points, looking the node up first;
@@ -497,9 +507,53 @@ func (x *Index) Insert(r geom.Rect, obj rtree.ObjectID) ([]ReclipCause, error) {
 		return nil, err
 	}
 	x.stats.Inserts++
+	causes := x.applyInsertTrace(trace)
+	x.publishIfAuto()
+	return causes, nil
+}
+
+// InsertItems adds a batch of objects through the tree's fast batch-insert
+// pipeline and maintains the clip table from the one aggregated trace: each
+// structurally changed node is re-clipped once for the whole batch and each
+// placement is validity-checked once, instead of paying the per-insert
+// maintenance (including the copy-on-write detach of the dense clip mirror)
+// per item. Outside an explicit batch the combined snapshot is published
+// once, atomically.
+func (x *Index) InsertItems(items []rtree.Item) error {
+	trace, err := x.tree.InsertItems(items)
+	if err != nil {
+		return err
+	}
+	x.stats.Inserts += len(items)
+	x.applyInsertTrace(trace)
+	x.publishIfAuto()
+	return nil
+}
+
+// applyInsertTrace runs the Section IV-D maintenance for one insertion
+// trace — single-insert or batch-aggregated: re-clip split/created/
+// MBB-changed nodes, validity-check every placement, and check ancestors of
+// grown children. It returns the causes of the reclips performed.
+func (x *Index) applyInsertTrace(trace *rtree.InsertTrace) []ReclipCause {
+	if trace.Rebuilt {
+		// The batch rebuilt the tree wholesale: old ids were freed and may
+		// have been reused, so stale table entries cannot be patched out
+		// incrementally. Recompute the table from scratch off a fresh
+		// private store (published snapshots keep the old mirrors), exactly
+		// like RebuildAll but publishing through the caller.
+		x.table = make(Table)
+		x.store = clipStore{}
+		x.storeShared = false
+		var scratch []geom.Rect
+		x.tree.Walk(func(info rtree.NodeInfo) {
+			scratch = x.reclipNodeInto(info, scratch)
+		})
+		return nil
+	}
+
 	var causes []ReclipCause
 
-	reclipped := make(map[rtree.NodeID]bool)
+	reclipped := make(map[rtree.NodeID]bool, len(trace.Split)+len(trace.Created)+len(trace.MBBChanged))
 	reclip := func(id rtree.NodeID, cause ReclipCause) {
 		if reclipped[id] {
 			return
@@ -561,8 +615,7 @@ func (x *Index) Insert(r geom.Rect, obj rtree.ObjectID) ([]ReclipCause, error) {
 	// grew (child MBB change could intrude into the parent's clipped
 	// corners): validity-check them against the grown child rectangles.
 	x.checkAncestors(trace, reclip)
-	x.publishIfAuto()
-	return causes, nil
+	return causes
 }
 
 // checkAncestors runs the insert-validity test on parents of changed nodes

@@ -25,6 +25,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
+	"slices"
 	"sort"
 
 	"cbb/internal/geom"
@@ -161,12 +163,25 @@ func Clip(mbb geom.Rect, children []geom.Rect, p Params) []ClipPoint {
 	}
 	minScore := p.Tau * nodeVol
 
-	var all []ClipPoint
+	all := make([]ClipPoint, 0, 2*p.K)
 	corners := make([]geom.Point, len(children))
 	geom.Corners(dims, func(b geom.Corner) {
-		// Line 3: nearest corners of every child w.r.t. b.
+		// Line 3: nearest corners of every child w.r.t. b, carved out of one
+		// flat slab instead of one allocation per corner point. Candidates
+		// returned by the skyline stage alias this slab, so each MBB corner
+		// gets a fresh slab (kept alive via `all` until the final copy below
+		// clones the winners out of it).
+		slab := make([]float64, len(children)*dims)
 		for i, ch := range children {
-			corners[i] = ch.Corner(b)
+			c := slab[i*dims : (i+1)*dims : (i+1)*dims]
+			for d := 0; d < dims; d++ {
+				if b.Bit(d) {
+					c[d] = ch.Hi[d]
+				} else {
+					c[d] = ch.Lo[d]
+				}
+			}
+			corners[i] = geom.Point(c)
 		}
 		var candidates []geom.Point
 		switch p.Method {
@@ -184,33 +199,60 @@ func Clip(mbb geom.Rect, children []geom.Rect, p Params) []ClipPoint {
 	})
 
 	// Line 12: keep the K highest-scoring clip points overall.
-	sort.SliceStable(all, func(i, j int) bool { return all[i].Score > all[j].Score })
+	slices.SortStableFunc(all, func(a, b ClipPoint) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		default:
+			return 0
+		}
+	})
 	if len(all) > p.K {
 		all = all[:p.K]
 	}
-	// Re-copy into a right-sized slice so the (potentially large) candidate
-	// backing array is not retained by long-lived clip tables.
+	// Clone into a right-sized slice: candidate coordinates alias the per-
+	// corner scratch slabs, which must not be retained (or shared) by
+	// long-lived clip tables.
 	out := make([]ClipPoint, len(all))
-	copy(out, all)
+	for i, cp := range all {
+		out[i] = ClipPoint{Coord: cp.Coord.Clone(), Mask: cp.Mask, Score: cp.Score}
+	}
 	return out
 }
 
 // scoreCorner assigns the additive-approximation scores of Figure 5 to the
 // candidate clip points of a single corner: the candidate clipping the most
 // volume keeps its full volume as score; every other candidate is charged
-// its overlap with that best candidate. Candidates are returned unsorted.
+// its overlap with that best candidate. Candidates are returned unsorted,
+// with Coord aliasing the candidate points (the caller clones the winners);
+// the candidate regions live only for the duration of the call and share one
+// flat backing buffer.
 func scoreCorner(mbb geom.Rect, b geom.Corner, candidates []geom.Point) []ClipPoint {
 	if len(candidates) == 0 {
 		return nil
 	}
+	dims := mbb.Dims()
+	buf := make([]float64, 2*dims*len(candidates))
+	regions := make([]geom.Rect, len(candidates))
 	out := make([]ClipPoint, 0, len(candidates))
 	best := -1
 	bestVol := -1.0
-	regions := make([]geom.Rect, len(candidates))
 	for i, c := range candidates {
-		regions[i] = mbb.CornerRect(c, b)
+		lo := buf[(2*i)*dims : (2*i+1)*dims : (2*i+1)*dims]
+		hi := buf[(2*i+1)*dims : (2*i+2)*dims : (2*i+2)*dims]
+		for d := 0; d < dims; d++ {
+			cc := mbb.Lo[d]
+			if b.Bit(d) {
+				cc = mbb.Hi[d]
+			}
+			lo[d] = math.Min(c[d], cc)
+			hi[d] = math.Max(c[d], cc)
+		}
+		regions[i] = geom.Rect{Lo: lo, Hi: hi}
 		v := regions[i].Volume()
-		out = append(out, ClipPoint{Coord: c.Clone(), Mask: b, Score: v})
+		out = append(out, ClipPoint{Coord: c, Mask: b, Score: v})
 		if v > bestVol {
 			bestVol, best = v, i
 		}

@@ -85,22 +85,30 @@ func StrictlyDominates(p, q Point, b Corner) bool {
 // farthest from corner R^b, which is how stairline candidates are generated.
 func Splice(p, q Point, b Corner) Point {
 	r := make(Point, len(p))
+	SpliceInto(r, p, q, b)
+	return r
+}
+
+// SpliceInto writes the splice point b(p, q) into dst, which must have the
+// same dimensionality as p and q. It is the allocation-free form of Splice
+// for callers that own a scratch point (the stairline generator computes
+// every candidate pair but keeps only the valid ones).
+func SpliceInto(dst, p, q Point, b Corner) {
 	for i := range p {
 		if b.Bit(i) {
 			if p[i] >= q[i] {
-				r[i] = p[i]
+				dst[i] = p[i]
 			} else {
-				r[i] = q[i]
+				dst[i] = q[i]
 			}
 		} else {
 			if p[i] <= q[i] {
-				r[i] = p[i]
+				dst[i] = p[i]
 			} else {
-				r[i] = q[i]
+				dst[i] = q[i]
 			}
 		}
 	}
-	return r
 }
 
 // CloserToCorner reports whether p is strictly closer to corner R^b than q

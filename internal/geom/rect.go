@@ -195,6 +195,24 @@ func (r Rect) Intersection(s Rect) (Rect, bool) {
 	return Rect{Lo: lo, Hi: hi}, true
 }
 
+// IntersectionMeasures returns the volume and margin of r ∩ s without
+// materialising the intersection rectangle, and whether the two intersect
+// at all (touching counts, with zero volume but positive margin, exactly
+// like Intersection).
+func (r Rect) IntersectionMeasures(s Rect) (vol, margin float64, ok bool) {
+	vol = 1.0
+	for i := range r.Lo {
+		lo := math.Max(r.Lo[i], s.Lo[i])
+		hi := math.Min(r.Hi[i], s.Hi[i])
+		if lo > hi {
+			return 0, 0, false
+		}
+		vol *= hi - lo
+		margin += hi - lo
+	}
+	return vol, margin, true
+}
+
 // OverlapVolume returns the volume of the intersection of r and s (zero when
 // they are disjoint or only touch).
 func (r Rect) OverlapVolume(s Rect) float64 {
@@ -243,16 +261,88 @@ func (r Rect) UnionPoint(p Point) Rect {
 
 // Enlargement returns how much the volume of r grows when extended to also
 // cover s: Volume(r ∪ s) - Volume(r). This is the classic Guttman insertion
-// criterion.
+// criterion. It is on the insertion hot path and therefore computes the
+// union's volume without materialising the union rectangle.
 func (r Rect) Enlargement(s Rect) float64 {
-	return r.Union(s).Volume() - r.Volume()
+	if r.IsZero() || s.IsZero() {
+		return r.Union(s).Volume() - r.Volume()
+	}
+	uv, rv := 1.0, 1.0
+	for i := range r.Lo {
+		lo, hi := r.Lo[i], r.Hi[i]
+		rv *= hi - lo
+		if s.Lo[i] < lo {
+			lo = s.Lo[i]
+		}
+		if s.Hi[i] > hi {
+			hi = s.Hi[i]
+		}
+		uv *= hi - lo
+	}
+	return uv - rv
 }
 
 // MarginEnlargement returns how much the margin of r grows when extended to
 // also cover s; the RR*-tree uses perimeter-based goals for degenerate
-// (zero-volume) rectangles.
+// (zero-volume) rectangles. Like Enlargement it avoids materialising the
+// union.
 func (r Rect) MarginEnlargement(s Rect) float64 {
-	return r.Union(s).Margin() - r.Margin()
+	if r.IsZero() || s.IsZero() {
+		return r.Union(s).Margin() - r.Margin()
+	}
+	var um, rm float64
+	for i := range r.Lo {
+		lo, hi := r.Lo[i], r.Hi[i]
+		rm += hi - lo
+		if s.Lo[i] < lo {
+			lo = s.Lo[i]
+		}
+		if s.Hi[i] > hi {
+			hi = s.Hi[i]
+		}
+		um += hi - lo
+	}
+	return um - rm
+}
+
+// UnionVolume returns Volume(r ∪ s) without materialising the union.
+func (r Rect) UnionVolume(s Rect) float64 {
+	if r.IsZero() || s.IsZero() {
+		return r.Union(s).Volume()
+	}
+	v := 1.0
+	for i := range r.Lo {
+		lo, hi := r.Lo[i], r.Hi[i]
+		if s.Lo[i] < lo {
+			lo = s.Lo[i]
+		}
+		if s.Hi[i] > hi {
+			hi = s.Hi[i]
+		}
+		v *= hi - lo
+	}
+	return v
+}
+
+// Extend grows r in place to also cover s and returns it. The receiver must
+// own its coordinate slices (e.g. a Clone); extending a zero r returns a
+// clone of s instead.
+func (r Rect) Extend(s Rect) Rect {
+	if s.IsZero() {
+		return r
+	}
+	if r.IsZero() {
+		return s.Clone()
+	}
+	for i := range r.Lo {
+		if s.Lo[i] < r.Lo[i] {
+			r.Lo[i] = s.Lo[i]
+		}
+		if s.Hi[i] > r.Hi[i] {
+			r.Hi[i] = s.Hi[i]
+		}
+	}
+	return r
 }
 
 // MinDistSq returns the squared minimum distance from point p to rectangle r
@@ -276,9 +366,16 @@ func (r Rect) MinDistSq(p Point) float64 {
 // R^b of r, i.e. the MBB of {p, R^b}. Per Definition 2 of the paper this is
 // exactly the region that the clip point <p, b> would clip away.
 func (r Rect) CornerRect(p Point, b Corner) Rect {
-	c := r.Corner(b)
-	lo := p.Min(c)
-	hi := p.Max(c)
+	lo := make(Point, len(r.Lo))
+	hi := make(Point, len(r.Lo))
+	for i := range r.Lo {
+		c := r.Lo[i]
+		if b.Bit(i) {
+			c = r.Hi[i]
+		}
+		lo[i] = math.Min(p[i], c)
+		hi[i] = math.Max(p[i], c)
+	}
 	return Rect{Lo: lo, Hi: hi}
 }
 
@@ -287,7 +384,14 @@ func (r Rect) CornerRect(p Point, b Corner) Rect {
 func MBROf(rects []Rect) Rect {
 	var out Rect
 	for _, r := range rects {
-		out = out.Union(r)
+		if r.IsZero() {
+			continue
+		}
+		if out.IsZero() {
+			out = r.Clone()
+			continue
+		}
+		out = out.Extend(r)
 	}
 	return out
 }

@@ -72,7 +72,13 @@ func (c *Curve) Bits() int { return c.bits }
 // NaN coordinates map to cell 0 of their axis rather than producing an
 // undefined float-to-integer conversion.
 func (c *Curve) Index(p geom.Point) uint64 {
-	coords := make([]uint32, c.dims)
+	var buf [8]uint32
+	coords := buf[:]
+	if c.dims > len(buf) {
+		coords = make([]uint32, c.dims)
+	} else {
+		coords = coords[:c.dims]
+	}
 	maxCell := float64(uint64(1)<<uint(c.bits) - 1)
 	for d := 0; d < c.dims; d++ {
 		v := p[d]
@@ -94,7 +100,10 @@ func (c *Curve) Index(p geom.Point) uint64 {
 		}
 		coords[d] = uint32(f)
 	}
-	return Encode(coords, c.bits)
+	// Coordinates are freshly clamped below 2^bits, so encode in place
+	// without Encode's defensive copy and masking.
+	axesToTranspose(coords, c.bits)
+	return interleave(coords, c.bits)
 }
 
 // MaxIndex returns the largest index the curve can produce: 2^(dims*bits)-1.
@@ -103,9 +112,20 @@ func (c *Curve) MaxIndex() uint64 {
 }
 
 // IndexRect returns the Hilbert index of the centre of a rectangle, which is
-// how the Hilbert R-tree orders data rectangles.
+// how the Hilbert R-tree orders data rectangles. The centre is computed
+// inline so ordering large entry sets allocates nothing.
 func (c *Curve) IndexRect(r geom.Rect) uint64 {
-	return c.Index(r.Center())
+	var buf [8]float64
+	ctr := buf[:]
+	if c.dims > len(buf) {
+		ctr = make([]float64, c.dims)
+	} else {
+		ctr = ctr[:c.dims]
+	}
+	for d := 0; d < c.dims; d++ {
+		ctr[d] = (r.Lo[d] + r.Hi[d]) / 2
+	}
+	return c.Index(geom.Point(ctr))
 }
 
 // Encode converts discrete coordinates (each < 2^bits) into a Hilbert index.

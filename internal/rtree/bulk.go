@@ -3,7 +3,7 @@ package rtree
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"cbb/internal/geom"
 	"cbb/internal/hilbert"
@@ -51,7 +51,8 @@ func (t *Tree) BulkLoad(items []Item) (err error) {
 }
 
 // packHilbert sorts items by the Hilbert value of their centres and packs
-// them into leaves of capacity M in curve order (Kamel & Faloutsos).
+// them into leaves of capacity M in curve order (Kamel & Faloutsos). Keys
+// are computed once per item, not once per comparison.
 func (t *Tree) packHilbert(items []Item) [][]Entry {
 	sorted := append([]Item(nil), items...)
 	// Rebuild the curve over the actual data bounds: a curve spanning a much
@@ -61,28 +62,112 @@ func (t *Tree) packHilbert(items []Item) [][]Entry {
 	if c, err := newCurveFor(bounds, t.cfg.HilbertBits); err == nil {
 		t.curve = c
 	}
-	sort.SliceStable(sorted, func(i, j int) bool {
-		return t.curve.IndexRect(sorted[i].Rect) < t.curve.IndexRect(sorted[j].Rect)
-	})
-	return packRuns(sorted, t.cfg.MaxEntries)
+	// Sort small (key, index) pairs — pointer-free, so swaps are cheap and
+	// barrier-free — and apply the permutation once. Ordering by (key,
+	// original index) is a total order, so any sort produces exactly the
+	// permutation a stable sort by key would.
+	ord := make([]hilbertOrd, len(sorted))
+	for i := range sorted {
+		ord[i] = hilbertOrd{key: t.curve.IndexRect(sorted[i].Rect), idx: int32(i)}
+	}
+	slices.SortFunc(ord, compareHilbertOrd)
+	perm := make([]Item, len(sorted))
+	for i, o := range ord {
+		perm[i] = sorted[o.idx]
+	}
+	return packRuns(perm, t.cfg.MaxEntries)
+}
+
+// hilbertOrd pairs a Hilbert key with the item's original position; the
+// position breaks ties so the order is total (and therefore deterministic).
+type hilbertOrd struct {
+	key uint64
+	idx int32
+}
+
+func compareHilbertOrd(a, b hilbertOrd) int {
+	if a.key != b.key {
+		if a.key < b.key {
+			return -1
+		}
+		return 1
+	}
+	return int(a.idx - b.idx)
 }
 
 // packSTR implements Sort-Tile-Recursive packing (Leutenegger et al.): sort
 // by the first dimension, cut into vertical slabs of S·M items, sort each
-// slab by the next dimension, and recurse.
+// slab by the next dimension, and recurse. Centre coordinates are computed
+// once up front (row-major, dims per item) rather than allocating a centre
+// point on every comparison.
 func (t *Tree) packSTR(items []Item) [][]Entry {
 	sorted := append([]Item(nil), items...)
-	t.strSort(sorted, 0)
+	dims := t.cfg.Dims
+	centers := make([]float64, len(sorted)*dims)
+	for i := range sorted {
+		for d := 0; d < dims; d++ {
+			centers[i*dims+d] = (sorted[i].Rect.Lo[d] + sorted[i].Rect.Hi[d]) / 2
+		}
+	}
+	scratch := &strScratch{
+		ord:     make([]centerOrd, len(sorted)),
+		items:   make([]Item, len(sorted)),
+		centers: make([]float64, len(sorted)*dims),
+	}
+	t.strSort(sorted, centers, scratch, 0)
 	return packRuns(sorted, t.cfg.MaxEntries)
 }
 
-func (t *Tree) strSort(items []Item, dim int) {
+// centerOrd pairs one centre coordinate with the item's current position;
+// the position breaks ties, making the order total — any sort then yields
+// the permutation a stable sort by coordinate would.
+type centerOrd struct {
+	key float64
+	idx int32
+}
+
+// strScratch holds the reusable buffers of one packSTR invocation: the
+// (key, index) pairs being sorted and the permutation targets. Slabs are
+// sorted one at a time, so one set of buffers serves the whole recursion.
+type strScratch struct {
+	ord     []centerOrd
+	items   []Item
+	centers []float64
+}
+
+// strStageSort sorts a slab by one centre dimension: pointer-free (key,
+// index) pairs are sorted and the resulting permutation is applied to the
+// items and their centre rows in one pass.
+func strStageSort(items []Item, centers []float64, dims, dim int, s *strScratch) {
+	n := len(items)
+	ord := s.ord[:n]
+	for i := 0; i < n; i++ {
+		ord[i] = centerOrd{key: centers[i*dims+dim], idx: int32(i)}
+	}
+	slices.SortFunc(ord, func(a, b centerOrd) int {
+		if a.key != b.key {
+			if a.key < b.key {
+				return -1
+			}
+			return 1
+		}
+		return int(a.idx - b.idx)
+	})
+	tmpI := s.items[:n]
+	tmpC := s.centers[:n*dims]
+	for i, o := range ord {
+		tmpI[i] = items[o.idx]
+		copy(tmpC[i*dims:(i+1)*dims], centers[int(o.idx)*dims:(int(o.idx)+1)*dims])
+	}
+	copy(items, tmpI)
+	copy(centers, tmpC)
+}
+
+func (t *Tree) strSort(items []Item, centers []float64, scratch *strScratch, dim int) {
 	if dim >= t.cfg.Dims {
 		return
 	}
-	sort.SliceStable(items, func(i, j int) bool {
-		return items[i].Rect.Center()[dim] < items[j].Rect.Center()[dim]
-	})
+	strStageSort(items, centers, t.cfg.Dims, dim, scratch)
 	if dim == t.cfg.Dims-1 {
 		return
 	}
@@ -101,22 +186,34 @@ func (t *Tree) strSort(items []Item, dim int) {
 		if end > len(items) {
 			end = len(items)
 		}
-		t.strSort(items[start:end], dim+1)
+		t.strSort(items[start:end], centers[start*t.cfg.Dims:end*t.cfg.Dims], scratch, dim+1)
 	}
 }
 
 // packRuns chops a sorted item list into runs of at most capacity entries,
 // distributing the items evenly across the runs so that every run also
 // respects the minimum fill (the root-only exception is handled by the
-// caller).
+// caller). Each run's entry rectangles are deep copies of the items' (the
+// tree owns its entries), carved out of one flat per-run backing array —
+// entry rectangles are never mutated in place, so sharing the backing is
+// safe and costs two allocations per leaf instead of two per item.
 func packRuns(items []Item, capacity int) [][]Entry {
+	if len(items) == 0 {
+		return nil
+	}
+	dims := items[0].Rect.Dims()
 	sizes := groupSizes(len(items), capacity)
 	out := make([][]Entry, 0, len(sizes))
 	pos := 0
 	for _, sz := range sizes {
 		run := make([]Entry, 0, sz)
-		for _, it := range items[pos : pos+sz] {
-			run = append(run, Entry{Rect: it.Rect.Clone(), Object: it.Object, Child: InvalidNode})
+		buf := make([]float64, 2*dims*sz)
+		for k, it := range items[pos : pos+sz] {
+			lo := buf[k*2*dims : k*2*dims+dims : k*2*dims+dims]
+			hi := buf[k*2*dims+dims : (k+1)*2*dims : (k+1)*2*dims]
+			copy(lo, it.Rect.Lo)
+			copy(hi, it.Rect.Hi)
+			run = append(run, Entry{Rect: geom.Rect{Lo: lo, Hi: hi}, Object: it.Object, Child: InvalidNode})
 		}
 		out = append(out, run)
 		pos += sz

@@ -157,19 +157,13 @@ func (t *Tree) condense(n *node, trace *DeleteTrace) {
 	}
 	t.updateHilbertLHV(cur)
 
-	// Re-insert orphaned entries at their original levels.
+	// Re-insert orphaned entries at their original levels. Each orphan is a
+	// fresh insertion for the purposes of the once-per-level R* overflow
+	// treatment, so the pooled marks open a new scope per orphan.
 	for _, o := range orphans {
-		if o.level == 0 && o.entry.Child == InvalidNode {
-			// A data entry: decrement size first because insertAtLevel's
-			// caller normally accounts for it.
-			itrace := &InsertTrace{Leaf: InvalidNode}
-			t.insertAtLevel(o.entry, 0, itrace, make(map[int]bool), false)
-			trace.Reinserted++
-			mergeTraces(trace, itrace)
-			continue
-		}
 		itrace := &InsertTrace{Leaf: InvalidNode}
-		t.insertAtLevel(o.entry, o.level, itrace, make(map[int]bool), false)
+		t.ovMarks.begin()
+		t.insertAtLevel(o.entry, o.level, itrace, &t.ovMarks, false)
 		trace.Reinserted++
 		mergeTraces(trace, itrace)
 	}

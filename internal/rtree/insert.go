@@ -31,7 +31,25 @@ type InsertTrace struct {
 	// Reinserted counts entries force-reinserted by the R*-tree overflow
 	// treatment.
 	Reinserted int
+	// Rebuilt reports that a batch insert rebuilt the whole tree from
+	// scratch (InsertItems' wholesale-rebuild path). Node ids may have been
+	// freed and reused, so consumers must discard per-node bookkeeping and
+	// recompute from a fresh walk; Created still lists every live node.
+	Rebuilt bool
+
+	// seen indexes membership of the three change sets above so the mark*
+	// dedupe checks stay O(1). It is nil for single-insert traces, where the
+	// sets stay tiny and the linear scans win; InsertItems allocates it so a
+	// 64k-item batch does not pay O(n²) dedupe scans.
+	seen map[NodeID]uint8
 }
+
+// Membership bits of InsertTrace.seen, mirroring the three change sets.
+const (
+	traceSplitBit uint8 = 1 << iota
+	traceCreatedBit
+	traceMBBBit
+)
 
 // Placement records that a rectangle was placed into a node.
 type Placement struct {
@@ -40,6 +58,14 @@ type Placement struct {
 }
 
 func (tr *InsertTrace) markSplit(id NodeID) {
+	if tr.seen != nil {
+		if tr.seen[id]&traceSplitBit != 0 {
+			return
+		}
+		tr.seen[id] |= traceSplitBit
+		tr.Split = append(tr.Split, id)
+		return
+	}
 	for _, v := range tr.Split {
 		if v == id {
 			return
@@ -49,6 +75,14 @@ func (tr *InsertTrace) markSplit(id NodeID) {
 }
 
 func (tr *InsertTrace) markCreated(id NodeID) {
+	if tr.seen != nil {
+		if tr.seen[id]&traceCreatedBit != 0 {
+			return
+		}
+		tr.seen[id] |= traceCreatedBit
+		tr.Created = append(tr.Created, id)
+		return
+	}
 	for _, v := range tr.Created {
 		if v == id {
 			return
@@ -58,6 +92,14 @@ func (tr *InsertTrace) markCreated(id NodeID) {
 }
 
 func (tr *InsertTrace) markMBBChanged(id NodeID) {
+	if tr.seen != nil {
+		if tr.seen[id] != 0 {
+			return
+		}
+		tr.seen[id] = traceMBBBit
+		tr.MBBChanged = append(tr.MBBChanged, id)
+		return
+	}
 	for _, v := range tr.MBBChanged {
 		if v == id {
 			return
@@ -79,6 +121,9 @@ func (tr *InsertTrace) markMBBChanged(id NodeID) {
 // Changed reports whether the node appears in any of the trace's change
 // sets.
 func (tr *InsertTrace) Changed(id NodeID) bool {
+	if tr.seen != nil {
+		return tr.seen[id] != 0
+	}
 	for _, v := range tr.Split {
 		if v == id {
 			return true
@@ -95,6 +140,33 @@ func (tr *InsertTrace) Changed(id NodeID) bool {
 		}
 	}
 	return false
+}
+
+// levelMarks is the pooled replacement for the per-insertion
+// `map[int]bool` that used to track which levels already ran the R*-tree
+// forced-reinsert treatment. One instance lives on the Tree (the writer is
+// single-threaded); begin() opens a fresh insertion without clearing — the
+// slice is generation-stamped, so reuse costs one counter bump and zero
+// allocations.
+type levelMarks struct {
+	gen []uint64
+	cur uint64
+}
+
+// begin starts a fresh insertion scope: all previous marks become stale.
+func (m *levelMarks) begin() { m.cur++ }
+
+// done reports whether the level was already marked in this scope.
+func (m *levelMarks) done(level int) bool {
+	return level >= 0 && level < len(m.gen) && m.gen[level] == m.cur
+}
+
+// mark records the level in the current scope.
+func (m *levelMarks) mark(level int) {
+	for len(m.gen) <= level {
+		m.gen = append(m.gen, 0)
+	}
+	m.gen[level] = m.cur
 }
 
 // Insert adds an object with the given rectangle to the tree and returns a
@@ -133,8 +205,8 @@ func (t *Tree) Insert(r geom.Rect, obj ObjectID) (trace *InsertTrace, err error)
 		return trace, nil
 	}
 	rootBefore := t.mustNode(t.root).mbb()
-	overflowDone := make(map[int]bool)
-	t.insertAtLevel(Entry{Rect: r.Clone(), Object: obj, Child: InvalidNode}, 0, trace, overflowDone, true)
+	t.ovMarks.begin()
+	t.insertAtLevel(Entry{Rect: r.Clone(), Object: obj, Child: InvalidNode}, 0, trace, &t.ovMarks, true)
 	t.size++
 	if rootAfter := t.mustNode(t.root).mbb(); !rootAfter.Equal(rootBefore) {
 		trace.markMBBChanged(t.root)
@@ -146,7 +218,7 @@ func (t *Tree) Insert(r geom.Rect, obj ObjectID) (trace *InsertTrace, err error)
 // overflow. recordLeaf marks whether the chosen node should be recorded as
 // the receiving leaf in the trace (true only for the original object
 // insertion, not for re-insertions).
-func (t *Tree) insertAtLevel(e Entry, level int, trace *InsertTrace, overflowDone map[int]bool, recordLeaf bool) {
+func (t *Tree) insertAtLevel(e Entry, level int, trace *InsertTrace, marks *levelMarks, recordLeaf bool) {
 	target := t.chooseSubtree(e.Rect, level)
 	n := t.mutable(t.mustNode(target))
 	if e.Child != InvalidNode {
@@ -161,7 +233,7 @@ func (t *Tree) insertAtLevel(e Entry, level int, trace *InsertTrace, overflowDon
 	trace.Placements = append(trace.Placements, Placement{Node: n.id, Rect: e.Rect})
 	t.counter.Write(1)
 	if len(n.entries) > t.cfg.MaxEntries {
-		t.handleOverflow(n, trace, overflowDone)
+		t.handleOverflow(n, trace, marks)
 		return
 	}
 	if !n.mbb().Equal(before) {
@@ -301,19 +373,19 @@ func (t *Tree) chooseHilbertChild(n *node, r geom.Rect) int {
 
 // handleOverflow resolves an over-full node either by forced reinsertion
 // (R*-tree, once per level per insertion) or by splitting.
-func (t *Tree) handleOverflow(n *node, trace *InsertTrace, overflowDone map[int]bool) {
-	if t.cfg.Variant == RStar && n.id != t.root && !overflowDone[n.level] {
-		overflowDone[n.level] = true
-		t.forcedReinsert(n, trace, overflowDone)
+func (t *Tree) handleOverflow(n *node, trace *InsertTrace, marks *levelMarks) {
+	if t.cfg.Variant == RStar && n.id != t.root && !marks.done(n.level) {
+		marks.mark(n.level)
+		t.forcedReinsert(n, trace, marks)
 		return
 	}
-	t.splitNode(n, trace, overflowDone)
+	t.splitNode(n, trace, marks)
 }
 
 // forcedReinsert removes the configured fraction of entries whose centres
 // are farthest from the node's centre and re-inserts them at the same level
 // (the R*-tree overflow treatment).
-func (t *Tree) forcedReinsert(n *node, trace *InsertTrace, overflowDone map[int]bool) {
+func (t *Tree) forcedReinsert(n *node, trace *InsertTrace, marks *levelMarks) {
 	centre := n.mbb().Center()
 	type distEntry struct {
 		e Entry
@@ -347,14 +419,14 @@ func (t *Tree) forcedReinsert(n *node, trace *InsertTrace, overflowDone map[int]
 	trace.Reinserted += len(removed)
 	// Reinsert far entries first (the R*-tree's "reinsert" ordering).
 	for _, e := range removed {
-		t.insertAtLevel(e, n.level, trace, overflowDone, false)
+		t.insertAtLevel(e, n.level, trace, marks, false)
 	}
 }
 
 // splitNode splits an over-full node with the variant's split algorithm and
 // pushes the new sibling into the parent (growing the tree if the root was
 // split).
-func (t *Tree) splitNode(n *node, trace *InsertTrace, overflowDone map[int]bool) {
+func (t *Tree) splitNode(n *node, trace *InsertTrace, marks *levelMarks) {
 	groupA, groupB := t.splitEntries(n.entries)
 	sibling := t.newNode(n.leaf, n.level)
 	n.entries = groupA
@@ -401,7 +473,7 @@ func (t *Tree) splitNode(n *node, trace *InsertTrace, overflowDone map[int]bool)
 	t.touch(parent)
 	t.counter.Write(1)
 	if len(parent.entries) > t.cfg.MaxEntries {
-		t.handleOverflow(parent, trace, overflowDone)
+		t.handleOverflow(parent, trace, marks)
 		return
 	}
 	if !parent.mbb().Equal(before) {

@@ -184,9 +184,14 @@ func (n *node) mbbMinDistSq(p geom.Point, dims int) float64 {
 }
 
 func (n *node) mbb() geom.Rect {
-	var out geom.Rect
-	for i := range n.entries {
-		out = out.Union(n.entries[i].Rect)
+	if len(n.entries) == 0 {
+		return geom.Rect{}
+	}
+	// One fresh rectangle extended in place, instead of one Union allocation
+	// per entry: mbb is called for every node a mutation or walk touches.
+	out := n.entries[0].Rect.Clone()
+	for i := 1; i < len(n.entries); i++ {
+		out = out.Extend(n.entries[i].Rect)
 	}
 	return out
 }
@@ -311,6 +316,16 @@ type Tree struct {
 	verMu     sync.Mutex
 	live      []*Version
 	lazyV     *Version // initial lazy version of a file-backed tree
+
+	// Writer-side scratch, reused across mutations (the writer is single-
+	// threaded, see above): ovMarks replaces the per-insertion
+	// map[int]bool that tracked the once-per-level R* overflow treatment,
+	// ingestKeys is the sort buffer of InsertItems, and lastIngest records
+	// how the most recent InsertItems call routed its items.
+	ovMarks    levelMarks
+	ingestKeys []ingestKey
+	ingest     IngestTuning
+	lastIngest IngestStats
 
 	// File-backed mode, set up by OpenPaged or AttachStore: nodes are
 	// faulted into the arena on first access from src, under arenaMu, and
@@ -1113,7 +1128,7 @@ func (t *Tree) Count(q geom.Rect) int {
 // All returns every object in the tree (id and rectangle), in no particular
 // order, without charging I/O.
 func (t *Tree) All() []Entry {
-	var out []Entry
+	out := make([]Entry, 0, t.size)
 	t.Walk(func(info NodeInfo) {
 		if info.Leaf {
 			out = append(out, info.Children...)

@@ -81,12 +81,14 @@ func (t *Tree) splitQuadratic(entries []Entry) ([]Entry, []Entry) {
 		}
 		e := remaining[bestIdx]
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		// mbbA/mbbB are clones owned by this split, so in-place extension is
+		// safe and keeps the O(M) assignment rounds allocation-free.
 		if bestToA {
 			groupA = append(groupA, e)
-			mbbA = mbbA.Union(e.Rect)
+			mbbA = mbbA.Extend(e.Rect)
 		} else {
 			groupB = append(groupB, e)
-			mbbB = mbbB.Union(e.Rect)
+			mbbB = mbbB.Extend(e.Rect)
 		}
 	}
 	return groupA, groupB
@@ -98,9 +100,9 @@ func pickQuadraticSeeds(entries []Entry) (int, int) {
 	seedA, seedB := 0, 1
 	worst := -1.0
 	for i := 0; i < len(entries); i++ {
+		volI := entries[i].Rect.Volume()
 		for j := i + 1; j < len(entries); j++ {
-			union := entries[i].Rect.Union(entries[j].Rect)
-			waste := union.Volume() - entries[i].Rect.Volume() - entries[j].Rect.Volume()
+			waste := entries[i].Rect.UnionVolume(entries[j].Rect) - volI - entries[j].Rect.Volume()
 			if waste > worst {
 				worst, seedA, seedB = waste, i, j
 			}
@@ -123,15 +125,34 @@ func (t *Tree) splitRStar(entries []Entry, revised bool) ([]Entry, []Entry) {
 	dims := t.cfg.Dims
 	n := len(entries)
 
+	// Axis choice: total margin over all candidate distributions. The left
+	// and right MBBs of the distributions are prefix/suffix unions of the
+	// sorted order, so one O(n) scan per order replaces the O(n²) rebuild
+	// of each group's MBB from scratch.
+	suffix := make([]geom.Rect, n) // suffix[i] = MBB of sorted[i:]
+	suffixScan := func(sorted []Entry) {
+		run := sorted[n-1].Rect.Clone()
+		suffix[n-1] = run
+		for i := n - 2; i >= m-1; i-- {
+			run = run.Clone().Extend(sorted[i].Rect)
+			suffix[i] = run
+		}
+	}
 	bestAxis, bestAxisMargin := -1, 0.0
 	for d := 0; d < dims; d++ {
 		margin := 0.0
 		for _, byUpper := range []bool{false, true} {
 			sorted := sortEntriesByAxis(entries, d, byUpper)
+			suffixScan(sorted)
+			pre := sorted[0].Rect.Clone()
+			for i := 1; i < m; i++ {
+				pre = pre.Extend(sorted[i].Rect)
+			}
 			for k := m; k <= n-m; k++ {
-				left := geom.MBROf(entryRects(sorted[:k]))
-				right := geom.MBROf(entryRects(sorted[k:]))
-				margin += left.Margin() + right.Margin()
+				margin += pre.Margin() + suffix[k].Margin()
+				if k < n-m {
+					pre = pre.Extend(sorted[k].Rect)
+				}
 			}
 		}
 		if bestAxis < 0 || margin < bestAxisMargin {
@@ -139,31 +160,35 @@ func (t *Tree) splitRStar(entries []Entry, revised bool) ([]Entry, []Entry) {
 		}
 	}
 
+	// Distribution choice along the best axis: minimum overlap (volume, or
+	// margin for the revised tree when every candidate's volume overlap is
+	// zero), ties broken by total volume. Candidates are scored in place —
+	// only the winning distribution's groups are materialised.
 	type candidate struct {
-		left, right   []Entry
+		byUpper       bool
+		k             int
 		overlapVol    float64
 		overlapMargin float64
 		totalVol      float64
 	}
-	var cands []candidate
+	cands := make([]candidate, 0, 2*(n-2*m+1))
 	for _, byUpper := range []bool{false, true} {
 		sorted := sortEntriesByAxis(entries, bestAxis, byUpper)
+		suffixScan(sorted)
+		pre := sorted[0].Rect.Clone()
+		for i := 1; i < m; i++ {
+			pre = pre.Extend(sorted[i].Rect)
+		}
 		for k := m; k <= n-m; k++ {
-			left := append([]Entry(nil), sorted[:k]...)
-			right := append([]Entry(nil), sorted[k:]...)
-			lm := geom.MBROf(entryRects(left))
-			rm := geom.MBROf(entryRects(right))
-			inter, ok := lm.Intersection(rm)
-			ovVol, ovMargin := 0.0, 0.0
-			if ok {
-				ovVol = inter.Volume()
-				ovMargin = inter.Margin()
-			}
+			ovVol, ovMargin, _ := pre.IntersectionMeasures(suffix[k])
 			cands = append(cands, candidate{
-				left: left, right: right,
+				byUpper: byUpper, k: k,
 				overlapVol: ovVol, overlapMargin: ovMargin,
-				totalVol: lm.Volume() + rm.Volume(),
+				totalVol: pre.Volume() + suffix[k].Volume(),
 			})
+			if k < n-m {
+				pre = pre.Extend(sorted[k].Rect)
+			}
 		}
 	}
 
@@ -190,7 +215,10 @@ func (t *Tree) splitRStar(entries []Entry, revised bool) ([]Entry, []Entry) {
 			best = i
 		}
 	}
-	return cands[best].left, cands[best].right
+	sorted := sortEntriesByAxis(entries, bestAxis, cands[best].byUpper)
+	left := append([]Entry(nil), sorted[:cands[best].k]...)
+	right := append([]Entry(nil), sorted[cands[best].k:]...)
+	return left, right
 }
 
 func sortEntriesByAxis(entries []Entry, axis int, byUpper bool) []Entry {

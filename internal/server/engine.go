@@ -61,6 +61,61 @@ type WriteOp struct {
 	ID     cbb.ObjectID
 }
 
+// writeBatch is the common surface of *cbb.Batch and *cbb.ShardedBatch that
+// applyOps needs.
+type writeBatch interface {
+	Insert(r cbb.Rect, id cbb.ObjectID) error
+	InsertItems(items []cbb.Item) error
+	Delete(r cbb.Rect, id cbb.ObjectID) (bool, error)
+}
+
+// applyOps replays a /batch request's ops into an open writer batch. Runs of
+// consecutive inserts go through InsertItems so they ride the engines' fast
+// batch-ingest path (Hilbert-sorted routing, bulk subtree grafts, one COW
+// clone per touched node); deletes and singleton inserts keep the per-op
+// path. Relative order of a delete and the inserts around it is preserved,
+// which is what makes the grouping semantics-neutral: only insert/insert
+// order within a run changes, and insert order is not observable (last state
+// per object id is identical either way).
+func applyOps(b writeBatch, ops []WriteOp) (int, error) {
+	found := 0
+	var run []cbb.Item
+	flush := func() error {
+		switch len(run) {
+		case 0:
+			return nil
+		case 1:
+			err := b.Insert(run[0].Rect, run[0].Object)
+			run = run[:0]
+			return err
+		default:
+			err := b.InsertItems(run)
+			run = run[:0]
+			return err
+		}
+	}
+	for _, op := range ops {
+		if op.Delete {
+			if err := flush(); err != nil {
+				return 0, err
+			}
+			ok, err := b.Delete(op.Rect, op.ID)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				found++
+			}
+			continue
+		}
+		run = append(run, cbb.Item{Object: op.ID, Rect: op.Rect})
+	}
+	if err := flush(); err != nil {
+		return 0, err
+	}
+	return found, nil
+}
+
 // --- single-tree engine -------------------------------------------------------
 
 // treeEngine adapts a *cbb.Tree.
@@ -92,19 +147,9 @@ func (e *treeEngine) Apply(ops []WriteOp) (int, error) {
 		return 0, err
 	}
 	defer b.Rollback()
-	found := 0
-	for _, op := range ops {
-		if op.Delete {
-			ok, err := b.Delete(op.Rect, op.ID)
-			if err != nil {
-				return 0, err
-			}
-			if ok {
-				found++
-			}
-		} else if err := b.Insert(op.Rect, op.ID); err != nil {
-			return 0, err
-		}
+	found, err := applyOps(b, ops)
+	if err != nil {
+		return 0, err
 	}
 	return found, b.Commit()
 }
@@ -171,19 +216,9 @@ func (e *shardedEngine) Apply(ops []WriteOp) (int, error) {
 		return 0, err
 	}
 	defer b.Rollback()
-	found := 0
-	for _, op := range ops {
-		if op.Delete {
-			ok, err := b.Delete(op.Rect, op.ID)
-			if err != nil {
-				return 0, err
-			}
-			if ok {
-				found++
-			}
-		} else if err := b.Insert(op.Rect, op.ID); err != nil {
-			return 0, err
-		}
+	found, err := applyOps(b, ops)
+	if err != nil {
+		return 0, err
 	}
 	return found, b.Commit()
 }

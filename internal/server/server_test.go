@@ -556,8 +556,15 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		}(wkr)
 	}
 
-	// Let traffic build, then shut down mid-flight.
-	time.Sleep(100 * time.Millisecond)
+	// Let traffic build — at least one acknowledged insert, or the test
+	// proves nothing — then shut down mid-flight. A fixed sleep is not
+	// enough: under -race on a loaded single-core machine 100ms can pass
+	// before the first insert completes.
+	deadline := time.Now().Add(10 * time.Second)
+	for acked.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
 	close(stop)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

@@ -17,7 +17,7 @@ package skyline
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"cbb/internal/geom"
 )
@@ -28,13 +28,16 @@ import (
 // ordered by descending distance from the corner is NOT guaranteed; callers
 // that need an order should sort the result themselves.
 //
-// The input slice is not modified.
+// The input slice is not modified. Returned points may alias the coordinate
+// storage of the input points (this sits on the clip-construction hot path,
+// where the caller owns per-corner scratch buffers); callers that retain the
+// result beyond the lifetime of pts must clone the points they keep.
 func Oriented(pts []geom.Point, b geom.Corner) []geom.Point {
 	switch len(pts) {
 	case 0:
 		return nil
 	case 1:
-		return []geom.Point{pts[0].Clone()}
+		return []geom.Point{pts[0]}
 	}
 	dims := pts[0].Dims()
 	if dims == 2 {
@@ -46,22 +49,34 @@ func Oriented(pts []geom.Point, b geom.Corner) []geom.Point {
 // oriented2D computes the skyline with a sort-and-scan pass: sort by
 // closeness to the corner in dimension 0 (ties broken by dimension 1), then
 // keep points whose dimension-1 coordinate improves on the best seen so far.
+// The index slice lives on the stack for realistic fan-outs and the sort is
+// a direct slices.SortFunc (no reflection-based swapper).
 func oriented2D(pts []geom.Point, b geom.Corner) []geom.Point {
-	idx := make([]int, len(pts))
-	for i := range idx {
-		idx[i] = i
+	var ibuf [64]int32
+	idx := ibuf[:0]
+	if len(pts) > len(ibuf) {
+		idx = make([]int32, 0, len(pts))
 	}
-	sort.Slice(idx, func(x, y int) bool {
-		p, q := pts[idx[x]], pts[idx[y]]
+	for i := range pts {
+		idx = append(idx, int32(i))
+	}
+	slices.SortFunc(idx, func(x, y int32) int {
+		p, q := pts[x], pts[y]
 		if p[0] != q[0] {
-			return geom.CloserToCorner(p, q, b, 0)
+			if geom.CloserToCorner(p, q, b, 0) {
+				return -1
+			}
+			return 1
 		}
 		if p[1] != q[1] {
-			return geom.CloserToCorner(p, q, b, 1)
+			if geom.CloserToCorner(p, q, b, 1) {
+				return -1
+			}
+			return 1
 		}
-		return false
+		return 0
 	})
-	var out []geom.Point
+	out := make([]geom.Point, 0, len(pts))
 	haveBest := false
 	var best float64
 	better := func(v float64) bool {
@@ -81,7 +96,7 @@ func oriented2D(pts []geom.Point, b geom.Corner) []geom.Point {
 		}
 		prev = p
 		if better(p[1]) {
-			out = append(out, p.Clone())
+			out = append(out, p)
 			best = p[1]
 			haveBest = true
 		}
@@ -93,7 +108,7 @@ func oriented2D(pts []geom.Point, b geom.Corner) []geom.Point {
 // node fan-outs of a few dozen to a few hundred entries this is entirely
 // adequate and is also what the paper assumes ("small input sets (< M)").
 func orientedGeneric(pts []geom.Point, b geom.Corner) []geom.Point {
-	var out []geom.Point
+	out := make([]geom.Point, 0, len(pts))
 	for i, p := range pts {
 		dominated := false
 		duplicate := false
@@ -115,7 +130,7 @@ func orientedGeneric(pts []geom.Point, b geom.Corner) []geom.Point {
 			}
 		}
 		if !dominated && !duplicate {
-			out = append(out, p.Clone())
+			out = append(out, p)
 		}
 	}
 	return out
@@ -132,7 +147,10 @@ func orientedGeneric(pts []geom.Point, b geom.Corner) []geom.Point {
 //
 // The cost is cubic in the skyline size (pairs × validation scan), matching
 // the paper's "unfortunately-cubic algorithm that is still practically
-// reasonable given the small input sets".
+// reasonable given the small input sets". Splices are computed into a stack
+// scratch point and only the accepted ones are materialised, so rejected
+// pairs cost no allocation. Like Oriented, returned skyline points may alias
+// the input points; splice points are freshly allocated.
 func Stairline(pts []geom.Point, b geom.Corner) []geom.Point {
 	sky := Oriented(pts, b)
 	if len(sky) < 2 {
@@ -140,22 +158,23 @@ func Stairline(pts []geom.Point, b geom.Corner) []geom.Point {
 	}
 	dims := sky[0].Dims()
 	inv := b.Opposite(dims)
-	out := make([]geom.Point, len(sky))
+	out := make([]geom.Point, len(sky), len(sky)+8)
 	copy(out, sky)
-	seen := make(map[string]struct{}, len(sky))
-	for _, p := range sky {
-		seen[key(p)] = struct{}{}
+	var sbuf [8]float64
+	s := geom.Point(sbuf[:])
+	if dims > len(sbuf) {
+		s = make(geom.Point, dims)
+	} else {
+		s = s[:dims]
 	}
 	for i := 0; i < len(sky); i++ {
 		for j := i + 1; j < len(sky); j++ {
-			s := geom.Splice(sky[i], sky[j], inv)
-			k := key(s)
-			if _, dup := seen[k]; dup {
+			geom.SpliceInto(s, sky[i], sky[j], inv)
+			if containsBits(out, s) {
 				continue
 			}
 			if spliceValid(s, sky, b) {
-				out = append(out, s)
-				seen[k] = struct{}{}
+				out = append(out, s.Clone())
 			}
 		}
 	}
@@ -172,20 +191,16 @@ func SplicesOnly(pts []geom.Point, b geom.Corner) []geom.Point {
 	dims := sky[0].Dims()
 	inv := b.Opposite(dims)
 	var out []geom.Point
-	seen := make(map[string]struct{}, len(sky))
-	for _, p := range sky {
-		seen[key(p)] = struct{}{}
-	}
+	seen := append([]geom.Point(nil), sky...)
 	for i := 0; i < len(sky); i++ {
 		for j := i + 1; j < len(sky); j++ {
 			s := geom.Splice(sky[i], sky[j], inv)
-			k := key(s)
-			if _, dup := seen[k]; dup {
+			if containsBits(seen, s) {
 				continue
 			}
 			if spliceValid(s, sky, b) {
 				out = append(out, s)
-				seen[k] = struct{}{}
+				seen = append(seen, s)
 			}
 		}
 	}
@@ -219,15 +234,28 @@ func IsDominated(p geom.Point, set []geom.Point, b geom.Corner) bool {
 	return false
 }
 
-// key builds a map key from the exact bit patterns of the coordinates; it is
-// only used for de-duplicating identical points.
-func key(p geom.Point) string {
-	buf := make([]byte, 0, len(p)*8)
-	for _, v := range p {
-		bits := math.Float64bits(v)
-		for i := 0; i < 8; i++ {
-			buf = append(buf, byte(bits>>(8*uint(i))))
+// containsBits reports whether set holds a point with exactly the bit
+// patterns of p. It replaces the string-keyed map the dedupe step used to
+// build per corner, with identical semantics (±0 are distinct, NaNs are
+// equal iff their payloads match); candidate sets are at most the node
+// fan-out plus a handful of splices, so a linear scan beats hashing.
+func containsBits(set []geom.Point, p geom.Point) bool {
+	for _, q := range set {
+		if bitsEqual(q, p) {
+			return true
 		}
 	}
-	return string(buf)
+	return false
+}
+
+func bitsEqual(p, q geom.Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if math.Float64bits(p[i]) != math.Float64bits(q[i]) {
+			return false
+		}
+	}
+	return true
 }

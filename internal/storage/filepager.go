@@ -161,6 +161,11 @@ type FilePager struct {
 	reads          int64 // atomic: pages read from disk
 	writes         int64 // atomic: pages written to disk
 
+	// Group-commit accounting (guarded by mu, see CommitStats).
+	commits     int64 // successful CommitJournal calls that had staged pages
+	commitPages int64 // page images carried by those commits, summed
+	walFsyncs   int64 // WAL fsyncs issued — exactly one per group commit
+
 	// Commit fail-points for crash-injection tests: called after the WAL is
 	// durable (but before any page is applied) and before applying record i.
 	failAfterWAL func() error
@@ -759,6 +764,7 @@ func (p *FilePager) CommitJournal() error {
 	if err := writeWALFile(walPath, p.pageSize, p.slotCount, records); err != nil {
 		return err
 	}
+	p.walFsyncs++ // the whole batch just became durable with one WAL fsync
 	// From here on the transaction is durable: a crash replays the WAL on
 	// the next open, so every failure below leaves a recoverable file.
 	if p.failAfterWAL != nil {
@@ -774,7 +780,28 @@ func (p *FilePager) CommitJournal() error {
 	}
 	p.overlay = make(map[PageID]*overlayPage)
 	p.dirty = false
+	p.commits++
+	p.commitPages += int64(len(records))
 	return nil
+}
+
+// CommitStats is the group-commit accounting of a journaled FilePager: how
+// many CommitJournal calls carried staged pages, how many page images they
+// wrote in total, and how many WAL fsyncs that cost. WALFsyncs equals
+// Commits by construction — a whole batch, however many pages, becomes
+// durable with exactly one WAL write + fsync — so Pages/WALFsyncs is the
+// group-commit amortisation factor.
+type CommitStats struct {
+	Commits   int64
+	Pages     int64
+	WALFsyncs int64
+}
+
+// CommitStats returns the pager's group-commit counters.
+func (p *FilePager) CommitStats() CommitStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return CommitStats{Commits: p.commits, Pages: p.commitPages, WALFsyncs: p.walFsyncs}
 }
 
 // SetCommitFailpoints installs crash-injection hooks for durability tests:

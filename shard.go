@@ -409,6 +409,7 @@ func (st *ShardedTree) InsertItems(items []Item) error {
 		ks[i] = keyed{item: it, key: st.key(it.Rect)}
 	}
 	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	var run []Item // reused per shard
 	i := 0
 	for i < len(ks) {
 		sh := st.dir.Load().find(ks[i].key)
@@ -421,12 +422,16 @@ func (st *ShardedTree) InsertItems(items []Item) error {
 			continue
 		}
 		j := i
+		run = run[:0]
 		for j < len(ks) && ks[j].key < sh.hi {
-			if err := b.Insert(ks[j].item.Rect, ks[j].item.Object); err != nil {
-				b.Rollback()
-				return err
-			}
+			run = append(run, ks[j].item)
 			j++
+		}
+		// The whole per-shard run rides the tree's batch fast path (one
+		// Hilbert-sorted routing pass, bulk subtree grafts, one COW epoch).
+		if err := b.InsertItems(run); err != nil {
+			b.Rollback()
+			return err
 		}
 		if err := b.Commit(); err != nil {
 			return err
@@ -486,23 +491,25 @@ type ShardedBatch struct {
 	done bool
 }
 
-// batchFor lazily opens (and caches) the per-shard batch owning a key.
-func (sb *ShardedBatch) batchFor(key uint64) (*Batch, error) {
+// batchFor lazily opens (and caches) the per-shard batch owning a key,
+// returning the shard alongside so callers can group further keys in
+// [sh.lo, sh.hi) onto the same batch.
+func (sb *ShardedBatch) batchFor(key uint64) (*shard, *Batch, error) {
 	for {
 		sh := sb.st.dir.Load().find(key)
 		if b, ok := sb.open[sh]; ok {
-			return b, nil
+			return sh, b, nil
 		}
 		b, err := sh.t.Begin()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if sh.retired.Load() {
 			b.Rollback()
 			continue
 		}
 		sb.open[sh] = b
-		return b, nil
+		return sh, b, nil
 	}
 }
 
@@ -514,11 +521,52 @@ func (sb *ShardedBatch) Insert(r Rect, id ObjectID) error {
 	if err := sb.st.checkRect(r); err != nil {
 		return err
 	}
-	b, err := sb.batchFor(sb.st.key(r))
+	_, b, err := sb.batchFor(sb.st.key(r))
 	if err != nil {
 		return err
 	}
 	return b.Insert(r, id)
+}
+
+// InsertItems adds a batch of objects to the cross-shard transaction: items
+// are sorted into Hilbert order once, each per-shard run is applied through
+// that shard's fast batch-insert pipeline (see Tree.InsertItems), and
+// everything becomes visible together at Commit.
+func (sb *ShardedBatch) InsertItems(items []Item) error {
+	if sb.done {
+		return errBatchDone
+	}
+	type keyed struct {
+		item Item
+		key  uint64
+	}
+	ks := make([]keyed, len(items))
+	for i, it := range items {
+		if err := sb.st.checkRect(it.Rect); err != nil {
+			return err
+		}
+		ks[i] = keyed{item: it, key: sb.st.key(it.Rect)}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	var run []Item // reused per shard
+	i := 0
+	for i < len(ks) {
+		sh, b, err := sb.batchFor(ks[i].key)
+		if err != nil {
+			return err
+		}
+		j := i
+		run = run[:0]
+		for j < len(ks) && ks[j].key < sh.hi {
+			run = append(run, ks[j].item)
+			j++
+		}
+		if err := b.InsertItems(run); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
 }
 
 // Delete removes an object within the batch; the removal becomes visible at
@@ -530,7 +578,7 @@ func (sb *ShardedBatch) Delete(r Rect, id ObjectID) (bool, error) {
 	if err := sb.st.checkRect(r); err != nil {
 		return false, err
 	}
-	b, err := sb.batchFor(sb.st.key(r))
+	_, b, err := sb.batchFor(sb.st.key(r))
 	if err != nil {
 		return false, err
 	}

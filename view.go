@@ -193,6 +193,16 @@ func (b *Batch) Insert(r Rect, id ObjectID) error {
 	return b.t.insertLocked(r, id)
 }
 
+// InsertItems adds a batch of objects through the fast batch-insert
+// pipeline (see Tree.InsertItems); they become visible to readers at
+// Commit, together with the rest of the batch.
+func (b *Batch) InsertItems(items []Item) error {
+	if b.done {
+		return errBatchDone
+	}
+	return b.t.insertItemsLocked(items)
+}
+
 // Delete removes an object within the batch; the removal becomes visible to
 // readers at Commit. It reports whether the object was found (in the
 // batch's own uncommitted state).
