@@ -231,8 +231,11 @@ type Tree struct {
 	batchOpen atomic.Bool
 
 	// Persistence binding (see persist.go): pager is the on-disk page store
-	// of a tree opened with Open/OpenReadOnly or created with Create.
-	pager *storage.FilePager
+	// of a tree opened with Open/OpenReadOnly or created with Create; mstore
+	// is the memory-mapped store of a tree opened with OpenMmap (always
+	// read-only). At most one of the two is set.
+	pager  *storage.FilePager
+	mstore *storage.MmapStore
 }
 
 // New creates an empty tree.
@@ -514,6 +517,16 @@ func (t *Tree) ResetIOStats() { t.tree.ResetIO() }
 // the read phase starts.
 func (t *Tree) AttachBufferPool(capacity int) {
 	t.tree.SetBufferPool(storage.NewBufferPool(capacity))
+}
+
+// AttachBufferPoolBytes is AttachBufferPool with the budget expressed in
+// resident bytes instead of a page count: every node access charges the
+// node's encoded size, so a compressed (v2) snapshot genuinely fits more of
+// its tree into the same budget than an uncompressed one — the honest way to
+// compare storage formats under one memory limit. A byteCapacity <= 0 means
+// unbounded.
+func (t *Tree) AttachBufferPoolBytes(byteCapacity int64) {
+	t.tree.SetBufferPool(storage.NewBufferPoolBytes(byteCapacity))
 }
 
 // DetachBufferPool removes the attached buffer pool, if any.

@@ -11,7 +11,7 @@
 //	cbbench -exp table1 -datasets rea02,axo03 -variants "R*-tree,RR*-tree"
 //
 // Experiments: fig01, fig08, fig09, fig10, fig11, table1, fig12, fig13,
-// fig14, join, fig15, throughput, coldstart, update, sharded, serve, all. The throughput
+// fig14, join, fig15, throughput, coldstart, coldformats, update, sharded, serve, all. The throughput
 // experiment goes beyond the paper: it sweeps the parallel query engine's
 // worker count (bounded by -workers) and reports queries/sec next to the
 // leaf-access metric. The coldstart experiment measures file-backed query
@@ -58,7 +58,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (fig01,fig08,fig09,fig10,fig11,table1,fig12,fig13,fig14,join,fig15,throughput,coldstart,update,sharded,serve,all)")
+		exp        = flag.String("exp", "all", "experiment to run (fig01,fig08,fig09,fig10,fig11,table1,fig12,fig13,fig14,join,fig15,throughput,coldstart,coldformats,update,sharded,serve,all)")
 		scale      = flag.Int("scale", 20000, "objects per dataset")
 		queries    = flag.Int("queries", 200, "queries per selectivity profile")
 		seed       = flag.Int64("seed", 42, "random seed")
@@ -113,7 +113,7 @@ func main() {
 		for _, s := range datasets.Specs {
 			fmt.Printf("  %-6s %dd  default %d objects  (%s)\n", s.Name, s.Dims, s.DefaultSize, s.Description)
 		}
-		fmt.Println("experiments: fig01 fig08 fig09 fig10 fig11 table1 fig12 fig13 fig14 join fig15 throughput coldstart update sharded serve all")
+		fmt.Println("experiments: fig01 fig08 fig09 fig10 fig11 table1 fig12 fig13 fig14 join fig15 throughput coldstart coldformats update sharded serve all")
 		stopProfiles()
 		return
 	}
@@ -142,7 +142,7 @@ func main() {
 	which := strings.ToLower(strings.TrimSpace(*exp))
 	names := []string{which}
 	if which == "all" {
-		names = []string{"fig01", "fig08", "fig09", "fig10", "fig11", "table1", "fig12", "fig13", "fig14", "join", "fig15", "throughput", "coldstart", "update", "sharded", "serve"}
+		names = []string{"fig01", "fig08", "fig09", "fig10", "fig11", "table1", "fig12", "fig13", "fig14", "join", "fig15", "throughput", "coldstart", "coldformats", "update", "sharded", "serve"}
 	}
 	for _, name := range names {
 		if err := runner.run(name); err != nil {
@@ -242,6 +242,12 @@ func (r *runner) run(name string) error {
 		tables = []*experiments.Table{res.Table()}
 	case "coldstart":
 		res, err := experiments.RunColdStart(r.cfg)
+		if err != nil {
+			return err
+		}
+		tables = []*experiments.Table{res.Table()}
+	case "coldformats":
+		res, err := experiments.RunColdFormats(r.cfg)
 		if err != nil {
 			return err
 		}

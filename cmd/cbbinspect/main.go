@@ -39,9 +39,21 @@ func main() {
 		samples = flag.Int("samples", 256, "Monte-Carlo samples per node")
 		file    = flag.String("file", "", "inspect a snapshot file instead of building an index")
 		verify  = flag.Bool("verify", false, "with -file: walk the free-page list and WAL tail, report orphaned or doubly-referenced pages")
+		rewrite = flag.String("rewrite", "", "with -file: transcode the snapshot to the given format (v1 or v2) and exit")
+		out     = flag.String("out", "", "with -rewrite/-compact: output path (default: rewrite the file in place)")
+		compact = flag.Bool("compact", false, "with -file: rewrite the snapshot in its current format (dense page layout, WAL folded in) and exit")
 	)
 	flag.Parse()
 
+	if (*rewrite != "" || *compact) && *file == "" {
+		fatal(fmt.Errorf("-rewrite and -compact require -file"))
+	}
+	if *rewrite != "" || *compact {
+		if err := transcodeSnapshot(*file, *out, *rewrite, *compact); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *file != "" {
 		if err := inspectSnapshot(*file, *samples, *seed, *verify); err != nil {
 			fatal(err)
@@ -109,9 +121,12 @@ func inspectSnapshot(path string, samples int, seed int64, verify bool) error {
 		return err
 	}
 	m := snap.Meta
-	fmt.Printf("snapshot   : %s (format v%d, %d B pages)\n", path, snapshot.Version, m.PageSize)
+	fmt.Printf("snapshot   : %s (format v%d, %d B pages)\n", path, m.Format, m.PageSize)
 	fmt.Printf("contents   : %d objects, %dd, M=%d m=%d\n", m.Objects, m.Dims, m.MaxEntries, m.MinEntries)
 	fmt.Printf("variant    : %s\n", m.Variant)
+	if err := reportCompression(path, snap, fp, tree); err != nil {
+		return err
+	}
 	var idx *clipindex.Index
 	if params, ok := m.ClipParams(); ok {
 		idx, err = clipindex.Restore(tree, params, snap.Table)
@@ -126,6 +141,166 @@ func inspectSnapshot(path string, samples int, seed int64, verify bool) error {
 		return verifyFile(snap, fp, walState)
 	}
 	return nil
+}
+
+// transcodeSnapshot implements -rewrite/-compact: a streaming format
+// conversion (or same-format compaction) via snapshot.Transcode.
+func transcodeSnapshot(path, out, format string, compact bool) error {
+	var target int
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "":
+		if !compact {
+			return fmt.Errorf("-rewrite needs a format (v1 or v2)")
+		}
+		snap, fp, err := snapshot.OpenFileReadOnly(path)
+		if err != nil {
+			return err
+		}
+		target = snap.Meta.Format
+		fp.Close()
+	case "v1", "1":
+		target = snapshot.FormatV1
+	case "v2", "2":
+		target = snapshot.FormatV2
+	default:
+		return fmt.Errorf("unknown format %q (want v1 or v2)", format)
+	}
+	if out == "" {
+		out = path
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if err := snapshot.Transcode(path, out, target); err != nil {
+		return err
+	}
+	after, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("transcoded : %s (%d B) -> %s (format v%d, %d B, %.1f%%)\n",
+		path, before.Size(), out, target, after.Size(), 100*float64(after.Size())/float64(before.Size()))
+	return nil
+}
+
+// reportCompression prints the per-level storage breakdown of a snapshot
+// file: node counts, encoded payload bytes (every node page is read back and
+// CRC-verified in the process), and — for compressed snapshots — the raw-leaf
+// fallback count, quantisation width, and a histogram of the conservative
+// slack that directory-rectangle quantisation added (measured against each
+// child's exact MBB, as relative margin increase).
+func reportCompression(path string, snap *snapshot.Snapshot, fp *storage.FilePager, tree *rtree.Tree) error {
+	if len(snap.Pages) == 0 {
+		return nil
+	}
+	codec := snap.Meta.Codec()
+	type lvl struct {
+		nodes, entries, rawLeaves int
+		bytes                     int64
+	}
+	levels := map[int]*lvl{}
+	maxLevel := 0
+	for _, pid := range snap.Pages {
+		buf, _, err := fp.Read(pid)
+		if err != nil {
+			return fmt.Errorf("reading node page %d: %w", pid, err)
+		}
+		st, err := rtree.InspectNodePage(buf, snap.Meta.Dims, codec)
+		if err != nil {
+			return fmt.Errorf("decoding node page %d: %w", pid, err)
+		}
+		l := levels[st.Level]
+		if l == nil {
+			l = &lvl{}
+			levels[st.Level] = l
+		}
+		l.nodes++
+		l.entries += st.Entries
+		l.bytes += int64(st.Bytes)
+		if st.RawLeaf {
+			l.rawLeaves++
+		}
+		if st.Level > maxLevel {
+			maxLevel = st.Level
+		}
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if snap.Meta.Objects > 0 {
+		fmt.Printf("file size  : %d B (%.1f B/object)\n", fi.Size(), float64(fi.Size())/float64(snap.Meta.Objects))
+	}
+	for level := maxLevel; level >= 0; level-- {
+		l := levels[level]
+		if l == nil {
+			continue
+		}
+		line := fmt.Sprintf("level %-2d   : %d nodes, %d entries, %d B encoded (%.1f B/entry)",
+			level, l.nodes, l.entries, l.bytes, float64(l.bytes)/float64(max(l.entries, 1)))
+		if codec == rtree.CodecV2 {
+			if level == 0 && l.rawLeaves > 0 {
+				line += fmt.Sprintf(", %d raw-fallback leaves", l.rawLeaves)
+			}
+			if level > 0 {
+				line += fmt.Sprintf(", %d-bit quantised", rtree.DirQuantBits)
+			}
+		}
+		fmt.Println(line)
+	}
+	if codec == rtree.CodecV2 {
+		reportSlack(tree)
+	}
+	return nil
+}
+
+// reportSlack histograms the conservative expansion of quantised directory
+// rectangles: for every directory entry, the relative margin increase of the
+// decoded rectangle over the child's exact MBB.
+func reportSlack(tree *rtree.Tree) {
+	// Buckets: exact, <1e-9, <1e-6, <1e-3, >=1e-3 relative margin slack.
+	var buckets [5]int
+	total := 0
+	tree.Walk(func(info rtree.NodeInfo) {
+		if info.Leaf {
+			return
+		}
+		for _, e := range info.Children {
+			child, err := tree.Node(e.Child)
+			if err != nil {
+				continue
+			}
+			total++
+			pm, cm := e.Rect.Margin(), child.MBB.Margin()
+			var rel float64
+			if cm > 0 {
+				rel = (pm - cm) / cm
+			} else if pm > 0 {
+				rel = 1 // degenerate child (a point); any expansion is "large"
+			}
+			switch {
+			case rel <= 0:
+				buckets[0]++
+			case rel < 1e-9:
+				buckets[1]++
+			case rel < 1e-6:
+				buckets[2]++
+			case rel < 1e-3:
+				buckets[3]++
+			default:
+				buckets[4]++
+			}
+		}
+	})
+	if total == 0 {
+		return
+	}
+	fmt.Printf("quant slack: %d dir entries: %.1f%% exact, %.1f%% <1e-9, %.1f%% <1e-6, %.1f%% <1e-3, %.1f%% larger (relative margin)\n",
+		total,
+		100*float64(buckets[0])/float64(total), 100*float64(buckets[1])/float64(total),
+		100*float64(buckets[2])/float64(total), 100*float64(buckets[3])/float64(total),
+		100*float64(buckets[4])/float64(total))
 }
 
 // describeWAL summarises the state of a write-ahead log file at path.

@@ -29,6 +29,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "random seed")
 		out      = flag.String("out", "", "output file (default stdout)")
 		list     = flag.Bool("list", false, "list available datasets and exit")
+		chunk    = flag.Int("chunk", 0, "generate and write in chunks of this many objects, so datasets larger than RAM stream straight to the output (0 = materialise everything first; note a chunked run emits a different — still deterministic — object sequence)")
 		hotspots = flag.Int("hotspots", 0, "hot02/hot03 only: number of hot regions (0 = default)")
 		zipfs    = flag.Float64("zipfs", 0, "hot02/hot03 only: zipf exponent weighting the hot regions, > 1 (0 = default)")
 	)
@@ -42,16 +43,10 @@ func main() {
 		return
 	}
 
-	var objs []geom.Rect
-	var err error
-	if *hotspots != 0 || *zipfs != 0 {
-		objs, err = datasets.GenerateHot(*name, *n, *seed, datasets.HotParams{Hotspots: *hotspots, ZipfS: *zipfs})
-	} else {
-		objs, err = datasets.Generate(*name, *n, *seed)
+	if *chunk > 0 && (*hotspots != 0 || *zipfs != 0) {
+		fatal(fmt.Errorf("-chunk cannot be combined with -hotspots/-zipfs"))
 	}
-	if err != nil {
-		fatal(err)
-	}
+
 	var w *bufio.Writer
 	if *out == "" {
 		w = bufio.NewWriter(os.Stdout)
@@ -69,25 +64,51 @@ func main() {
 	}
 	defer w.Flush()
 
-	for _, o := range objs {
-		line := make([]byte, 0, 128)
-		for i, v := range o.Lo {
-			if i > 0 {
-				line = append(line, ',')
+	written := 0
+	emit := func(objs []geom.Rect) error {
+		for _, o := range objs {
+			line := make([]byte, 0, 128)
+			for i, v := range o.Lo {
+				if i > 0 {
+					line = append(line, ',')
+				}
+				line = strconv.AppendFloat(line, v, 'g', -1, 64)
 			}
-			line = strconv.AppendFloat(line, v, 'g', -1, 64)
+			for _, v := range o.Hi {
+				line = append(line, ',')
+				line = strconv.AppendFloat(line, v, 'g', -1, 64)
+			}
+			line = append(line, '\n')
+			if _, err := w.Write(line); err != nil {
+				return err
+			}
 		}
-		for _, v := range o.Hi {
-			line = append(line, ',')
-			line = strconv.AppendFloat(line, v, 'g', -1, 64)
+		written += len(objs)
+		return nil
+	}
+
+	var err error
+	switch {
+	case *chunk > 0:
+		err = datasets.GenerateStream(*name, *n, *seed, *chunk, emit)
+	case *hotspots != 0 || *zipfs != 0:
+		var objs []geom.Rect
+		objs, err = datasets.GenerateHot(*name, *n, *seed, datasets.HotParams{Hotspots: *hotspots, ZipfS: *zipfs})
+		if err == nil {
+			err = emit(objs)
 		}
-		line = append(line, '\n')
-		if _, err := w.Write(line); err != nil {
-			fatal(err)
+	default:
+		var objs []geom.Rect
+		objs, err = datasets.Generate(*name, *n, *seed)
+		if err == nil {
+			err = emit(objs)
 		}
 	}
+	if err != nil {
+		fatal(err)
+	}
 	if *out != "" {
-		fmt.Fprintf(os.Stderr, "wrote %d objects of %s to %s\n", len(objs), *name, *out)
+		fmt.Fprintf(os.Stderr, "wrote %d objects of %s to %s\n", written, *name, *out)
 	}
 }
 

@@ -26,8 +26,12 @@
 //	                of all objects over a thin uniform background, so
 //	                spatial partitions see extremely unbalanced populations.
 //
-// All generators are deterministic given (name, n, seed). See DESIGN.md §4
-// for the substitution rationale.
+// All generators are deterministic given (name, n, seed), and every emitted
+// coordinate is rounded to float32 precision: the source datasets carry ~7
+// significant digits (surveyed street geometry, reconstructed morphologies),
+// so full-entropy float64 mantissas would misrepresent them — and would make
+// the snapshot format's lossless leaf compression look worse than it is on
+// real data. See DESIGN.md §4 for the substitution rationale.
 package datasets
 
 import (
@@ -132,26 +136,79 @@ func Generate(name string, n int, seed int64) ([]geom.Rect, error) {
 	rng := rand.New(rand.NewSource(seed ^ int64(len(name))<<32))
 	switch name {
 	case "par02":
-		return genParametric(rng, n, 2), nil
+		return roundRects(genParametric(rng, n, 2)), nil
 	case "par03":
-		return genParametric(rng, n, 3), nil
+		return roundRects(genParametric(rng, n, 3)), nil
 	case "rea02":
-		return genStreets(rng, n), nil
+		return roundRects(genStreets(rng, n)), nil
 	case "rea03":
-		return genClusteredPoints(rng, n), nil
+		return roundRects(genClusteredPoints(rng, n)), nil
 	case "axo03":
-		return genTubules(rng, n, tubuleParams{segments: 200, stepLen: 18, jitter: 0.15, radius: 0.6}), nil
+		return roundRects(genTubules(rng, n, tubuleParams{segments: 200, stepLen: 18, jitter: 0.15, radius: 0.6})), nil
 	case "den03":
-		return genTubules(rng, n, tubuleParams{segments: 40, stepLen: 8, jitter: 0.5, radius: 0.9}), nil
+		return roundRects(genTubules(rng, n, tubuleParams{segments: 40, stepLen: 8, jitter: 0.5, radius: 0.9})), nil
 	case "neu03":
-		return genNeurites(rng, n), nil
+		return roundRects(genNeurites(rng, n)), nil
 	case "hot02":
-		return genHotRegions(rng, n, 2, HotParams{}.withDefaults()), nil
+		return roundRects(genHotRegions(rng, n, 2, HotParams{}.withDefaults())), nil
 	case "hot03":
-		return genHotRegions(rng, n, 3, HotParams{}.withDefaults()), nil
+		return roundRects(genHotRegions(rng, n, 3, HotParams{}.withDefaults())), nil
 	default:
 		return nil, fmt.Errorf("datasets: generator for %q not implemented", name)
 	}
+}
+
+// roundRects rounds every coordinate to float32 precision, in place — the
+// emulated source data has ~7 significant digits, not 16. Rounding to nearest
+// is monotone, so lo <= hi survives, and universe bounds survive too: the
+// bounds are powers-of-ten representable in float32 exactly, and no value
+// inside the range can round past them.
+func roundRects(rs []geom.Rect) []geom.Rect {
+	for _, r := range rs {
+		for d := range r.Lo {
+			r.Lo[d] = float64(float32(r.Lo[d]))
+			r.Hi[d] = float64(float32(r.Hi[d]))
+		}
+	}
+	return rs
+}
+
+// GenerateStream produces n objects of the named dataset in chunks of at most
+// chunkSize, calling yield once per chunk, so a dataset larger than RAM can be
+// generated while holding only one chunk in memory. Each chunk is produced by
+// an independent generator seeded deterministically from (seed, chunk index):
+// the stream is fully reproducible for a given (name, n, seed, chunkSize), but
+// it is a different object sequence than Generate(name, n, seed) — per-chunk
+// generator state (city layouts, clusters, fibres) is re-derived, so the union
+// simply has proportionally more of those structures, with the same
+// distributional shape. A yield error aborts the stream and is returned
+// verbatim.
+func GenerateStream(name string, n int, seed int64, chunkSize int, yield func(chunk []geom.Rect) error) error {
+	spec, err := Lookup(name)
+	if err != nil {
+		return err
+	}
+	if n <= 0 {
+		n = spec.DefaultSize
+	}
+	if chunkSize <= 0 {
+		chunkSize = 1 << 20
+	}
+	for chunk := 0; n > 0; chunk++ {
+		m := min(n, chunkSize)
+		// splitmix64-style seed derivation keeps the chunk streams decorrelated
+		// even for adjacent seeds.
+		cs := seed + int64(chunk)*-7046029254386353131 // golden-ratio odd constant
+		objs, err := Generate(name, m, cs)
+		if err != nil {
+			return err
+		}
+		if err := yield(objs); err != nil {
+			return err
+		}
+		n -= m
+	}
+	return nil
 }
 
 // HotParams tunes the skewed hot-region generators (hot02, hot03).
@@ -199,7 +256,7 @@ func GenerateHot(name string, n int, seed int64, p HotParams) ([]geom.Rect, erro
 		n = spec.DefaultSize
 	}
 	rng := rand.New(rand.NewSource(seed ^ int64(len(name))<<32))
-	return genHotRegions(rng, n, spec.Dims, p.withDefaults()), nil
+	return roundRects(genHotRegions(rng, n, spec.Dims, p.withDefaults())), nil
 }
 
 // genHotRegions draws each object either uniformly (background) or from a

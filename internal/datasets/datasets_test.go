@@ -1,6 +1,7 @@
 package datasets
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -310,5 +311,51 @@ func TestGenerateHotParams(t *testing.T) {
 	}
 	if _, err := GenerateHot("par02", 100, 1, HotParams{}); err == nil {
 		t.Error("GenerateHot should reject non-hot datasets")
+	}
+}
+
+func TestGenerateStream(t *testing.T) {
+	const n, chunk = 5000, 1024
+	collect := func() []geom.Rect {
+		var out []geom.Rect
+		sizes := []int{}
+		err := GenerateStream("rea02", n, 7, chunk, func(c []geom.Rect) error {
+			sizes = append(sizes, len(c))
+			out = append(out, c...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range sizes {
+			want := chunk
+			if i == len(sizes)-1 {
+				want = n - chunk*(len(sizes)-1)
+			}
+			if s != want {
+				t.Fatalf("chunk %d has %d objects, want %d", i, s, want)
+			}
+		}
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) != n {
+		t.Fatalf("streamed %d objects, want %d", len(a), n)
+	}
+	u, _ := Universe("rea02")
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("object %d differs between identical runs: %v vs %v", i, a[i], b[i])
+		}
+		if !u.ContainsRect(a[i]) {
+			t.Fatalf("object %d escapes the universe: %v", i, a[i])
+		}
+	}
+	if err := GenerateStream("nope", 10, 1, 4, func([]geom.Rect) error { return nil }); err == nil {
+		t.Error("unknown dataset should error")
+	}
+	sentinel := fmt.Errorf("stop")
+	if err := GenerateStream("rea02", 10, 1, 4, func([]geom.Rect) error { return sentinel }); err != sentinel {
+		t.Errorf("yield error not propagated: %v", err)
 	}
 }

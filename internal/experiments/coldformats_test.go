@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestRunColdFormats(t *testing.T) {
+	cfg := Config{Scale: 1500, Queries: 25, Seed: 42, Datasets: []string{"rea02"}}
+	res, err := RunColdFormats(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3
+	if runtime.GOOS == "windows" { // no mmap store there
+		want = 2
+	}
+	if len(res.Rows) != want {
+		t.Fatalf("%d rows, want %d", len(res.Rows), want)
+	}
+	v1 := res.Rows[0]
+	if v1.Mode != "v1+pager" {
+		t.Fatalf("first row is %s, want v1+pager", v1.Mode)
+	}
+	for _, row := range res.Rows[1:] {
+		// RunColdFormats itself errors on a result mismatch; re-check anyway.
+		if row.Results != v1.Results {
+			t.Fatalf("%s returned %d results, v1 %d", row.Mode, row.Results, v1.Results)
+		}
+		// The compressed format must be at most half the v1 size — the
+		// tentpole's acceptance bar.
+		if row.FileBytes*2 > v1.FileBytes {
+			t.Errorf("%s file is %d B, more than half of v1's %d B", row.Mode, row.FileBytes, v1.FileBytes)
+		}
+		// Conservative decode can only ADD node visits, and only marginally
+		// (16-bit grid): equal or a hair above v1, never below.
+		if row.LeafReads < v1.LeafReads || row.LeafReads > v1.LeafReads+v1.LeafReads/20+1 {
+			t.Errorf("%s logical leaf reads %d out of range for v1's %d", row.Mode, row.LeafReads, v1.LeafReads)
+		}
+	}
+	if v1.Results == 0 || v1.Misses == 0 {
+		t.Error("cold pass charged no work")
+	}
+	if res.Table().String() == "" {
+		t.Error("empty table rendering")
+	}
+}
+
+// BenchmarkColdFormats is the CI smoke for the format sweep: -benchtime=1x
+// runs one tiny end-to-end pass (build, snapshot, transcode, three cold
+// opens) so the v2 and mmap paths cannot silently rot.
+func BenchmarkColdFormats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := Config{Scale: 1500, Queries: 10, Seed: 42, Datasets: []string{"rea02"}}
+		if _, err := RunColdFormats(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package experiments
+
+// minorFaults is unavailable without rusage; rows report -1.
+func minorFaults() int64 { return -1 }

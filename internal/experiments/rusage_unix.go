@@ -1,0 +1,16 @@
+//go:build unix
+
+package experiments
+
+import "syscall"
+
+// minorFaults reports the process's cumulative minor page-fault count — the
+// metric that distinguishes mmap reads (which fault mapped pages in) from
+// pager reads (which copy into pool buffers). Returns -1 when rusage fails.
+func minorFaults() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return -1
+	}
+	return int64(ru.Minflt)
+}

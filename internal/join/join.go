@@ -587,11 +587,11 @@ func (j *sttJoiner) joinNodeWithLeaf(other *Side, otherID rtree.NodeID, leaf rtr
 }
 
 func (j *sttJoiner) chargeLeft(info rtree.NodeInfo) {
-	j.left.Tree.ChargeRead(info.ID, info.Leaf, j.leftCtr)
+	j.left.Tree.ChargeReadSized(info.ID, info.Leaf, info.Bytes, j.leftCtr)
 }
 
 func (j *sttJoiner) chargeRight(info rtree.NodeInfo) {
-	j.right.Tree.ChargeRead(info.ID, info.Leaf, j.rightCtr)
+	j.right.Tree.ChargeReadSized(info.ID, info.Leaf, info.Bytes, j.rightCtr)
 }
 
 // chargeSide charges a node access of one side to that side's counter; the

@@ -121,41 +121,16 @@ func decodeNode(buf []byte, dims int) (*node, error) {
 // subsystem, and persistence round-trip tests. Saving a file-backed tree
 // faults every node in first.
 func (t *Tree) Save(p storage.PageStore) (root storage.PageID, pages map[NodeID]storage.PageID, err error) {
-	if t.root == InvalidNode {
-		return storage.InvalidPage, nil, errors.New("rtree: cannot save an empty tree")
-	}
-	pages = make(map[NodeID]storage.PageID)
-	var firstErr error
-	t.Walk(func(info NodeInfo) {
-		if firstErr != nil {
-			return
-		}
-		kind := storage.KindDirectory
-		if info.Leaf {
-			kind = storage.KindLeaf
-		}
-		id, err := p.Allocate(kind)
-		if err != nil {
-			firstErr = err
-			return
-		}
-		pages[info.ID] = id
-		if err := p.Write(id, encodeNode(t.node(info.ID), t.cfg.Dims)); err != nil {
-			firstErr = fmt.Errorf("rtree: saving node %d: %w", info.ID, err)
-		}
-	})
-	if firstErr != nil {
-		return storage.InvalidPage, nil, firstErr
-	}
-	if err := t.Err(); err != nil {
-		return storage.InvalidPage, nil, err
-	}
-	return pages[t.root], pages, nil
+	return t.SaveWith(p, CodecV1)
 }
 
 // Load reconstructs a tree previously written with Save. The configuration
 // must match the one used when building the original tree.
 func Load(cfg Config, p storage.PageStore, root storage.PageID, pages map[NodeID]storage.PageID) (*Tree, error) {
+	return loadWith(cfg, p, root, pages, CodecV1)
+}
+
+func loadWith(cfg Config, p storage.PageStore, root storage.PageID, pages map[NodeID]storage.PageID, codec PageCodec) (*Tree, error) {
 	t, err := New(cfg)
 	if err != nil {
 		return nil, err
@@ -181,7 +156,7 @@ func Load(cfg Config, p storage.PageStore, root storage.PageID, pages map[NodeID
 		if err != nil {
 			return nil, fmt.Errorf("rtree: reading page %d: %w", pid, err)
 		}
-		n, err := decodeNode(buf, cfg.Dims)
+		n, err := decodeNodeCodec(buf, cfg.Dims, codec)
 		if err != nil {
 			return nil, err
 		}
@@ -275,7 +250,7 @@ func OpenPaged(cfg Config, store storage.PageStore, pages map[NodeID]storage.Pag
 	if store == nil {
 		return nil, errors.New("rtree: OpenPaged requires a page store")
 	}
-	t.src = &pageSource{store: store, pages: pages, readonly: readonly, dirty: make(map[NodeID]struct{})}
+	t.src = &pageSource{store: store, pages: pages, readonly: readonly, codec: CodecV1, dirty: make(map[NodeID]struct{})}
 	if root == InvalidNode {
 		if len(pages) != 0 || size != 0 || height != 0 {
 			return nil, errors.New("rtree: snapshot has pages but no root")
@@ -320,7 +295,7 @@ func (t *Tree) AttachStore(store storage.PageStore, pages map[NodeID]storage.Pag
 	if pages == nil {
 		pages = make(map[NodeID]storage.PageID)
 	}
-	src := &pageSource{store: store, pages: pages, hydrated: true, dirty: make(map[NodeID]struct{})}
+	src := &pageSource{store: store, pages: pages, hydrated: true, codec: CodecV1, dirty: make(map[NodeID]struct{})}
 	t.src = src
 	t.Walk(func(info NodeInfo) {
 		if _, ok := pages[info.ID]; !ok {

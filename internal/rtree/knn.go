@@ -84,7 +84,7 @@ func (v *Version) NearestNeighbors(k int, p geom.Point) []Neighbor {
 			if n == nil {
 				continue
 			}
-			t.ChargeRead(n.id, n.leaf, nil)
+			t.chargeReadNode(n, n.leaf, nil)
 			boxes := n.boxes
 			off := 0
 			for i := range n.entries {

@@ -111,6 +111,12 @@ type node struct {
 	// hilbertLHV is the largest Hilbert value of the subtree, maintained
 	// only by the Hilbert variant.
 	hilbertLHV uint64
+	// encSize is the node's encoded page size in bytes: the exact stored
+	// size for nodes decoded from a snapshot, or the v1 layout size for
+	// in-memory nodes (refreshed by syncBoxes on every mutation). Byte-budget
+	// buffer pools charge residency by it, so compressed and raw pages share
+	// one budget honestly.
+	encSize int32
 }
 
 // syncBoxes rebuilds the flat coordinate mirror from the entry rectangles.
@@ -128,6 +134,7 @@ func (n *node) syncBoxes(dims int) {
 		copy(n.boxes[off+dims:off+2*dims], r.Hi)
 		off += 2 * dims
 	}
+	n.encSize = int32(nodeHeaderBytes + len(n.entries)*EntryBytes(dims))
 }
 
 // mbbIntersects reports whether q intersects the MBB of the node's entries,
@@ -335,6 +342,12 @@ type Tree struct {
 	src      *pageSource
 	arenaMu  sync.RWMutex
 	faultErr error // first page fault failure, sticky; guarded by arenaMu
+
+	// conservative marks a tree decoded from compressed (v2) pages: its
+	// directory entry rects are supersets of the exact child MBBs (the
+	// quantisation decode rounds outward), so Validate checks containment
+	// instead of equality. Queries are unaffected — supersets are admissible.
+	conservative bool
 }
 
 // pageSource is the storage binding of a file-backed tree: where each node
@@ -345,7 +358,8 @@ type pageSource struct {
 	store    storage.PageStore
 	pages    map[NodeID]storage.PageID
 	readonly bool
-	hydrated bool // whole tree materialised; parents and LHVs are valid
+	hydrated bool      // whole tree materialised; parents and LHVs are valid
+	codec    PageCodec // page layout nodes fault in through (CodecV1 default)
 	dirty    map[NodeID]struct{}
 	freed    []freedPage
 }
@@ -709,6 +723,15 @@ func (t *Tree) mutable(n *node) *node {
 // the attached buffer pool, if any. The search and join paths funnel every
 // node access through here so counter and pool accounting cannot diverge.
 func (t *Tree) ChargeRead(id NodeID, leaf bool, c *storage.Counter) {
+	t.ChargeReadSized(id, leaf, 0, c)
+}
+
+// ChargeReadSized is ChargeRead with the node's encoded page size attached:
+// byte-budget buffer pools charge residency by it (page-count pools ignore
+// it, so accounting is unchanged for every existing configuration). Paths
+// that hold the node pass its exact size via chargeReadNode; callers that
+// only have an id may pass 0, which byte pools treat as membership-only.
+func (t *Tree) ChargeReadSized(id NodeID, leaf bool, bytes int, c *storage.Counter) {
 	if c == nil {
 		c = t.counter
 	}
@@ -719,8 +742,14 @@ func (t *Tree) ChargeRead(id NodeID, leaf bool, c *storage.Counter) {
 	}
 	if t.pool != nil {
 		// PageID zero is invalid, node ids start at zero: offset by one.
-		t.pool.Touch(storage.PageID(uint64(id) + 1))
+		t.pool.TouchSized(storage.PageID(uint64(id)+1), bytes)
 	}
+}
+
+// chargeReadNode is the hot-path form of ChargeRead: the caller already holds
+// the node, so the byte charge is exact and free to compute.
+func (t *Tree) chargeReadNode(n *node, leaf bool, c *storage.Counter) {
+	t.ChargeReadSized(n.id, leaf, int(n.encSize), c)
 }
 
 // RootID returns the id of the root node, or InvalidNode for an empty tree.
@@ -969,7 +998,7 @@ func (t *Tree) fault(v *Version, id NodeID) *node {
 		ferr = fmt.Errorf("rtree: node %d has no page in the snapshot", id)
 	} else if buf, _, err := t.src.store.Read(pid); err != nil {
 		ferr = fmt.Errorf("rtree: reading page %d for node %d: %w", pid, id, err)
-	} else if n, err = decodeNode(buf, t.cfg.Dims); err != nil {
+	} else if n, err = decodeNodeCodec(buf, t.cfg.Dims, t.src.codec); err != nil {
 		n = nil
 		ferr = fmt.Errorf("rtree: decoding page %d for node %d: %w", pid, id, err)
 	} else if n.id != id {
@@ -1011,6 +1040,8 @@ type NodeInfo struct {
 	Level    int
 	MBB      geom.Rect
 	Children []Entry
+	// Bytes is the node's encoded page size (see node.encSize).
+	Bytes int
 }
 
 // Node returns a snapshot of the node with the given id. The returned
@@ -1028,7 +1059,7 @@ func (t *Tree) Node(id NodeID) (NodeInfo, error) {
 	}
 	return NodeInfo{
 		ID: n.id, Parent: n.parent, Leaf: n.leaf, Level: n.level,
-		MBB: n.mbb(), Children: n.entries,
+		MBB: n.mbb(), Children: n.entries, Bytes: int(n.encSize),
 	}, nil
 }
 
@@ -1047,7 +1078,7 @@ func (t *Tree) Walk(fn func(NodeInfo)) {
 		if n == nil {
 			continue
 		}
-		fn(NodeInfo{ID: n.id, Parent: n.parent, Leaf: n.leaf, Level: n.level, MBB: n.mbb(), Children: n.entries})
+		fn(NodeInfo{ID: n.id, Parent: n.parent, Leaf: n.leaf, Level: n.level, MBB: n.mbb(), Children: n.entries, Bytes: int(n.encSize)})
 		if !n.leaf {
 			for i := range n.entries {
 				stack = append(stack, n.entries[i].Child)

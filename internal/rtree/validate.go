@@ -73,7 +73,14 @@ func (t *Tree) Validate() error {
 				return fmt.Errorf("rtree: child %d at level %d under parent at level %d", child.id, child.level, n.level)
 			}
 			childMBB := child.mbb()
-			if !e.Rect.Equal(childMBB) {
+			if t.conservative {
+				// Trees decoded from compressed (v2) pages carry directory
+				// rects rounded outward by quantisation: a rect must contain
+				// its child's MBB, but need not equal it.
+				if !e.Rect.ContainsRect(childMBB) {
+					return fmt.Errorf("rtree: entry rect %v for child %d does not contain child MBB %v", e.Rect, child.id, childMBB)
+				}
+			} else if !e.Rect.Equal(childMBB) {
 				return fmt.Errorf("rtree: entry rect %v for child %d does not equal child MBB %v", e.Rect, child.id, childMBB)
 			}
 			if err := check(e.Child); err != nil {

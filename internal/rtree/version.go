@@ -139,7 +139,7 @@ func (v *Version) Node(id NodeID) (NodeInfo, error) {
 	}
 	return NodeInfo{
 		ID: n.id, Parent: InvalidNode, Leaf: n.leaf, Level: n.level,
-		MBB: n.mbb(), Children: n.entries,
+		MBB: n.mbb(), Children: n.entries, Bytes: int(n.encSize),
 	}, nil
 }
 
@@ -210,7 +210,7 @@ func (v *Version) searchIter(q geom.Rect, filter func(NodeID, geom.Rect) bool, a
 		}
 		boxes := n.boxes
 		if n.leaf {
-			t.ChargeRead(n.id, true, c)
+			t.chargeReadNode(n, true, c)
 			off := 0
 			for i := range n.entries {
 				if boxHits(boxes, off, dims, &sc.qlo, &sc.qhi) {
@@ -224,7 +224,7 @@ func (v *Version) searchIter(q geom.Rect, filter func(NodeID, geom.Rect) bool, a
 			}
 			continue
 		}
-		t.ChargeRead(n.id, false, c)
+		t.chargeReadNode(n, false, c)
 		base := len(stack)
 		off := 0
 		for i := range n.entries {

@@ -36,8 +36,19 @@ import (
 // Superblock constants.
 const (
 	superMagic = "CBBSNAP1"
-	// Version is the snapshot format version written by this package.
-	Version = 1
+	// Version is the default snapshot format version written by this
+	// package (the uncompressed v1 layout).
+	Version = FormatV1
+	// FormatV1 is the original snapshot format: fixed-size node pages in
+	// the Figure 4a layout and a raw float64 clip table. v1 snapshots can
+	// be reopened writable and rewritten in place.
+	FormatV1 = 1
+	// FormatV2 is the compressed snapshot format: node pages hold the
+	// quantised/delta-coded v2 layout (rtree.CodecV2), the page size is
+	// chosen from the largest encoded node rather than the node capacity,
+	// and the clip table is quantised against the universe
+	// (clipindex.EncodeTableV2). v2 snapshots open read-only.
+	FormatV2 = 2
 	// SuperPage is the page id of the superblock: always the first page of
 	// the file, so readers can find it without any other metadata.
 	SuperPage storage.PageID = 1
@@ -89,8 +100,13 @@ func (m ClipMethod) CoreMethod() (core.Method, bool) {
 // a lazy open cannot derive without reading every page.
 type Meta struct {
 	// PageSize is the page size of the snapshot's page file; 0 lets Write
-	// pick one (DefaultPageSize, grown if the node capacity needs more).
+	// pick one (for v1: DefaultPageSize, grown if the node capacity needs
+	// more; for v2: the largest encoded node, rounded up).
 	PageSize int
+
+	// Format selects the snapshot layout (FormatV1 or FormatV2); 0 means
+	// FormatV1, so existing callers are unaffected.
+	Format int
 
 	// Index configuration.
 	Dims        int
@@ -133,6 +149,14 @@ func (m Meta) ClipParams() (core.Params, bool) {
 	return core.Params{K: m.MaxClipPoints, Tau: m.ClipTau, Method: method}, true
 }
 
+// Codec returns the node-page codec matching the header's format.
+func (m Meta) Codec() rtree.PageCodec {
+	if m.Format >= FormatV2 {
+		return rtree.CodecV2
+	}
+	return rtree.CodecV1
+}
+
 // PageSizeFor returns the page size Write uses for the given configuration:
 // the default 4 KiB page unless a node of MaxEntries entries needs more, in
 // which case the size is rounded up to the next 4 KiB multiple.
@@ -143,6 +167,58 @@ func PageSizeFor(maxEntries, dims int) int {
 	}
 	pages := (need + storage.DefaultPageSize - 1) / storage.DefaultPageSize
 	return pages * storage.DefaultPageSize
+}
+
+// superBytesFor is the encoded superblock size for a given dimensionality
+// (the fixed header fields plus the 2·dims universe extents); the page size
+// of a v2 snapshot must be at least this, since the superblock shares the
+// page file with the compressed node pages.
+func superBytesFor(dims int) int { return 120 + 16*dims }
+
+// v2PageSizeFor picks the page size of a compressed snapshot: the largest
+// v2-encoded node of the tree (the format has no fixed per-node size), but
+// never smaller than the superblock, rounded up to a 64-byte multiple so
+// slots stay cache-line aligned.
+func v2PageSizeFor(tree *rtree.Tree, dims int) (int, error) {
+	need, err := tree.MaxEncodedNodeBytes(rtree.CodecV2)
+	if err != nil {
+		return 0, err
+	}
+	if s := superBytesFor(dims); s > need {
+		need = s
+	}
+	return (need + 63) &^ 63, nil
+}
+
+// fillPageSize resolves a zero meta.PageSize to the format's natural size.
+func fillPageSize(meta Meta, tree *rtree.Tree) (Meta, error) {
+	if meta.PageSize != 0 {
+		return meta, nil
+	}
+	if meta.Format >= FormatV2 {
+		if tree == nil {
+			return meta, errors.New("snapshot: v2 page size needs the tree")
+		}
+		ps, err := v2PageSizeFor(tree, meta.Dims)
+		if err != nil {
+			return meta, err
+		}
+		meta.PageSize = ps
+		return meta, nil
+	}
+	meta.PageSize = PageSizeFor(meta.MaxEntries, meta.Dims)
+	return meta, nil
+}
+
+// encodeClip serialises the clip table in the header's format.
+func encodeClip(meta Meta, table clipindex.Table) []byte {
+	if len(table) == 0 {
+		return nil
+	}
+	if meta.Format >= FormatV2 {
+		return clipindex.EncodeTableV2(table, meta.Dims, meta.Universe)
+	}
+	return clipindex.EncodeTable(table, meta.Dims)
 }
 
 // Layout locates the snapshot's page regions inside the page file; it is
@@ -174,7 +250,7 @@ func (s *Snapshot) LoadTree(store storage.PageStore) (*rtree.Tree, error) {
 	if s.Meta.Root == rtree.InvalidNode {
 		return rtree.New(s.Meta.Config())
 	}
-	t, err := rtree.Load(s.Meta.Config(), store, s.RootPage, s.Pages)
+	t, err := rtree.LoadCodec(s.Meta.Config(), store, s.RootPage, s.Pages, s.Meta.Codec())
 	if err != nil {
 		return nil, err
 	}
@@ -190,9 +266,11 @@ func (s *Snapshot) LoadTree(store storage.PageStore) (*rtree.Tree, error) {
 // OpenTree returns a tree that faults node pages in from the store on
 // demand, so queries run directly against the backing file. With readonly
 // false the tree is writable: mutations accumulate in its dirty set and
-// Rewrite commits them back into the snapshot in place.
+// Rewrite commits them back into the snapshot in place. Compressed (v2)
+// snapshots only open read-only: their pages are sized to the encoded node,
+// so a mutated node might not fit back in its slot.
 func (s *Snapshot) OpenTree(store storage.PageStore, readonly bool) (*rtree.Tree, error) {
-	return rtree.OpenPaged(s.Meta.Config(), store, s.Pages, s.Meta.Root, s.Meta.Objects, s.Meta.Height, readonly)
+	return rtree.OpenPagedCodec(s.Meta.Config(), store, s.Pages, s.Meta.Root, s.Meta.Objects, s.Meta.Height, readonly, s.Meta.Codec())
 }
 
 // Write serialises the tree and its clip table into a freshly created page
@@ -219,7 +297,7 @@ func Write(store storage.PageStore, tree *rtree.Tree, table clipindex.Table, met
 	var rootPage storage.PageID
 	pages := map[rtree.NodeID]storage.PageID{}
 	if meta.Root != rtree.InvalidNode {
-		rootPage, pages, err = tree.Save(store)
+		rootPage, pages, err = tree.SaveWith(store, meta.Codec())
 		if err != nil {
 			return err
 		}
@@ -230,10 +308,7 @@ func Write(store storage.PageStore, tree *rtree.Tree, table clipindex.Table, met
 		return fmt.Errorf("snapshot: writing node index: %w", err)
 	}
 
-	var clipBuf []byte
-	if len(table) > 0 {
-		clipBuf = clipindex.EncodeTable(table, meta.Dims)
-	}
+	clipBuf := encodeClip(meta, table)
 	clipFirst, clipPages, err := writeChunked(store, clipBuf)
 	if err != nil {
 		return fmt.Errorf("snapshot: writing clip table: %w", err)
@@ -266,8 +341,15 @@ func checkMeta(store storage.PageStore, tree *rtree.Tree, table clipindex.Table,
 			meta.Dims, meta.Variant, meta.MaxEntries, meta.MinEntries, meta.HilbertBits,
 			cfg.Dims, cfg.Variant, cfg.MaxEntries, cfg.MinEntries, cfg.HilbertBits)
 	}
-	if meta.PageSize == 0 {
-		meta.PageSize = PageSizeFor(meta.MaxEntries, meta.Dims)
+	if meta.Format == 0 {
+		meta.Format = FormatV1
+	}
+	if meta.Format != FormatV1 && meta.Format != FormatV2 {
+		return meta, fmt.Errorf("snapshot: unknown format %d", meta.Format)
+	}
+	meta, err := fillPageSize(meta, tree)
+	if err != nil {
+		return meta, err
 	}
 	if store.PageSize() != meta.PageSize {
 		return meta, fmt.Errorf("snapshot: page store has page size %d, header says %d", store.PageSize(), meta.PageSize)
@@ -288,6 +370,9 @@ func checkMeta(store storage.PageStore, tree *rtree.Tree, table clipindex.Table,
 // FilePager the caller's CommitJournal makes the whole batch atomic, which
 // is how Flush gives crash consistency.
 func Rewrite(store storage.PageStore, tree *rtree.Tree, table clipindex.Table, meta Meta) error {
+	if meta.Format >= FormatV2 {
+		return errors.New("snapshot: v2 (compressed) snapshots are read-only and cannot be rewritten in place")
+	}
 	meta, err := checkMeta(store, tree, table, meta)
 	if err != nil {
 		return err
@@ -324,10 +409,7 @@ func Rewrite(store storage.PageStore, tree *rtree.Tree, table clipindex.Table, m
 	if err != nil {
 		return fmt.Errorf("snapshot: writing node index: %w", err)
 	}
-	var clipBuf []byte
-	if len(table) > 0 {
-		clipBuf = clipindex.EncodeTable(table, meta.Dims)
-	}
+	clipBuf := encodeClip(meta, table)
 	clipFirst, clipPages, err := writeChunked(store, clipBuf)
 	if err != nil {
 		return fmt.Errorf("snapshot: writing clip table: %w", err)
@@ -385,7 +467,13 @@ func Read(store storage.PageStore) (*Snapshot, error) {
 		if err != nil {
 			return nil, fmt.Errorf("snapshot: reading clip table: %w", err)
 		}
-		tbl, dims, err := clipindex.DecodeTable(clipBuf)
+		var tbl clipindex.Table
+		var dims int
+		if meta.Format >= FormatV2 {
+			tbl, dims, err = clipindex.DecodeTableV2(clipBuf, meta.Universe)
+		} else {
+			tbl, dims, err = clipindex.DecodeTable(clipBuf)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -412,14 +500,15 @@ func Read(store storage.PageStore) (*Snapshot, error) {
 // SaveTo writes a snapshot of the tree as a byte stream (the page file
 // format) to w.
 func SaveTo(w io.Writer, tree *rtree.Tree, table clipindex.Table, meta Meta) error {
-	if meta.PageSize == 0 {
-		meta.PageSize = PageSizeFor(meta.MaxEntries, meta.Dims)
+	meta, err := fillPageSize(meta, tree)
+	if err != nil {
+		return err
 	}
 	pager := storage.NewPager(meta.PageSize)
 	if err := Write(pager, tree, table, meta); err != nil {
 		return err
 	}
-	_, err := pager.WriteTo(w)
+	_, err = pager.WriteTo(w)
 	return err
 }
 
@@ -441,9 +530,19 @@ func LoadFrom(r io.Reader) (*Snapshot, *storage.Pager, error) {
 // temporary file in the same directory, which is fsynced and renamed over
 // path only after every page is on disk.
 func WriteFile(path string, tree *rtree.Tree, table clipindex.Table, meta Meta) error {
-	if meta.PageSize == 0 {
-		meta.PageSize = PageSizeFor(meta.MaxEntries, meta.Dims)
+	meta, err := fillPageSize(meta, tree)
+	if err != nil {
+		return err
 	}
+	return atomicWritePageFile(path, meta.PageSize, func(fp *storage.FilePager) error {
+		return Write(fp, tree, table, meta)
+	})
+}
+
+// atomicWritePageFile creates a page file at path atomically: fill populates
+// a FilePager over a temporary file in the same directory, which is fsynced
+// and renamed over path only after every page is on disk.
+func atomicWritePageFile(path string, pageSize int, fill func(*storage.FilePager) error) error {
 	dir, base := filepath.Split(path)
 	tmp, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
@@ -460,11 +559,11 @@ func WriteFile(path string, tree *rtree.Tree, table clipindex.Table, meta Meta) 
 	if err := os.Chmod(tmpPath, 0o644); err != nil {
 		return fail(err)
 	}
-	fp, err := storage.CreateFilePager(tmpPath, meta.PageSize)
+	fp, err := storage.CreateFilePager(tmpPath, pageSize)
 	if err != nil {
 		return fail(err)
 	}
-	if err := Write(fp, tree, table, meta); err != nil {
+	if err := fill(fp); err != nil {
 		fp.Close()
 		return fail(err)
 	}
@@ -658,9 +757,15 @@ type layout struct {
 }
 
 func encodeSuper(meta Meta, lay layout) []byte {
+	format := meta.Format
+	if format == 0 {
+		format = FormatV1
+	}
 	buf := make([]byte, 0, 160+16*meta.Dims)
 	buf = append(buf, superMagic...)
-	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	// The format doubles as the superblock version: a v1 reader rejects a
+	// v2 file with ErrBadVersion instead of misreading its pages.
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(format))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(meta.PageSize))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(meta.Dims))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(meta.Variant))
@@ -735,7 +840,10 @@ func decodeSuper(buf []byte, storePageSize int) (Meta, layout, error) {
 		return meta, lay, ErrBadMagic
 	}
 	c := &cursor{buf: buf, off: len(superMagic), ok: true}
-	if v := c.u32(); v != Version {
+	switch v := c.u32(); v {
+	case FormatV1, FormatV2:
+		meta.Format = int(v)
+	default:
 		return meta, lay, fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
 	meta.PageSize = int(c.u32())
@@ -788,8 +896,16 @@ func decodeSuper(buf []byte, storePageSize int) (Meta, layout, error) {
 	if meta.ClipMethod > ClipNone {
 		return meta, lay, fmt.Errorf("%w: unknown clip method %d", ErrCorrupt, uint32(meta.ClipMethod))
 	}
-	if meta.MaxEntries < 4 || rtree.PageBytesFor(meta.MaxEntries, meta.Dims) > meta.PageSize {
+	if meta.MaxEntries < 4 {
+		return meta, lay, fmt.Errorf("%w: implausible node capacity %d", ErrCorrupt, meta.MaxEntries)
+	}
+	if meta.Format < FormatV2 && rtree.PageBytesFor(meta.MaxEntries, meta.Dims) > meta.PageSize {
+		// v2 pages are sized to the largest encoded node, not the node
+		// capacity, so this bound only holds for the fixed v1 layout.
 		return meta, lay, fmt.Errorf("%w: node capacity %d does not fit a %d-byte page", ErrCorrupt, meta.MaxEntries, meta.PageSize)
+	}
+	if meta.Format >= FormatV2 && meta.PageSize < superBytesFor(meta.Dims) {
+		return meta, lay, fmt.Errorf("%w: %d-byte pages cannot hold the superblock", ErrCorrupt, meta.PageSize)
 	}
 	if lay.nodeCount < 0 || lay.nodeCount > maxNodes {
 		return meta, lay, fmt.Errorf("%w: implausible node count %d", ErrCorrupt, lay.nodeCount)

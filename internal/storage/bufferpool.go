@@ -56,20 +56,29 @@ func poolShardsFor(capacity int) int {
 type poolShard struct {
 	mu       sync.Mutex
 	capacity int // 0 = unbounded (membership only, no LRU list)
-	index    map[PageID]int32
-	slots    []poolSlot
-	head     int32 // most recently used, -1 when empty
-	tail     int32 // least recently used, -1 when empty
-	hits     int64
-	misses   int64
-	// Pad the 72 bytes of fields above to 128 — two 64-byte cache lines —
+	// Byte-budget mode (byteCap > 0): eviction is driven by the sum of the
+	// resident pages' byte sizes instead of their count, so compressed and
+	// raw pages share one budget honestly. capacity is 0 in this mode; freed
+	// slots are recycled through freeSlots because evictions and admissions
+	// no longer pair one-to-one.
+	byteCap   int64
+	byteUsed  int64
+	freeSlots []int32
+	index     map[PageID]int32
+	slots     []poolSlot
+	head      int32 // most recently used, -1 when empty
+	tail      int32 // least recently used, -1 when empty
+	hits      int64
+	misses    int64
+	// Pad the 112 bytes of fields above to 128 — two 64-byte cache lines —
 	// so the per-shard mutexes and counters of adjacent shards never share
 	// a cache line under parallel batch search.
-	_ [7]int64
+	_ [2]int64
 }
 
 type poolSlot struct {
 	id         PageID
+	size       int64 // resident byte charge (byte-budget mode only)
 	prev, next int32
 }
 
@@ -86,6 +95,44 @@ func NewBufferPool(capacity int) *BufferPool {
 // prefer NewBufferPool's lock-striped layout.
 func NewUnshardedBufferPool(capacity int) *BufferPool {
 	return newBufferPool(capacity, 1)
+}
+
+// NewBufferPoolBytes creates a pool bounded by resident bytes instead of page
+// count: TouchSized charges each page's actual encoded size, and the LRU
+// evicts until the shard is back under its byte budget. This is how
+// compressed (v2) and raw (v1) snapshots share one honest memory budget — a
+// page-count pool would let the compressed index appear to need the same
+// buffer as the raw one. A byteCapacity of zero or less means unbounded.
+func NewBufferPoolBytes(byteCapacity int64) *BufferPool {
+	if byteCapacity <= 0 {
+		return NewBufferPool(0)
+	}
+	return newBufferPoolBytes(byteCapacity, poolMaxShards)
+}
+
+// NewUnshardedBufferPoolBytes is NewBufferPoolBytes with a single shard: an
+// exact global byte-LRU, for sequential experiments that report miss counts.
+func NewUnshardedBufferPoolBytes(byteCapacity int64) *BufferPool {
+	if byteCapacity <= 0 {
+		return NewUnshardedBufferPool(0)
+	}
+	return newBufferPoolBytes(byteCapacity, 1)
+}
+
+func newBufferPoolBytes(byteCapacity int64, shards int) *BufferPool {
+	b := newBufferPool(0, shards)
+	per, extra := byteCapacity/int64(shards), byteCapacity%int64(shards)
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.byteCap = per
+		if int64(i) < extra {
+			sh.byteCap++
+		}
+		if sh.byteCap <= 0 {
+			sh.byteCap = 1
+		}
+	}
+	return b
 }
 
 func newBufferPool(capacity, shards int) *BufferPool {
@@ -123,13 +170,79 @@ func (b *BufferPool) shard(id PageID) *poolShard {
 
 // Touch records an access to the page and reports whether it was a buffer
 // hit. On a miss the page is admitted, possibly evicting the shard's least
-// recently used page.
+// recently used page. On a byte-budget pool Touch charges zero bytes; use
+// TouchSized when the page's size is known.
 func (b *BufferPool) Touch(id PageID) bool {
+	return b.TouchSized(id, 0)
+}
+
+// TouchSized is Touch with the page's resident byte size attached. Page-count
+// pools ignore the size, so it is always safe to pass; byte-budget pools
+// charge it against the shard's budget and evict least-recently-used pages
+// until the budget holds again (the page just touched is never evicted, so a
+// single page larger than the whole budget still caches itself).
+func (b *BufferPool) TouchSized(id PageID, bytes int) bool {
 	s := b.shard(id)
 	s.mu.Lock()
-	hit := s.touch(id)
+	var hit bool
+	if s.byteCap > 0 {
+		hit = s.touchBytes(id, int64(bytes))
+	} else {
+		hit = s.touch(id)
+	}
 	s.mu.Unlock()
 	return hit
+}
+
+// touchBytes is the byte-budget counterpart of touch.
+func (s *poolShard) touchBytes(id PageID, size int64) bool {
+	if size < 0 {
+		size = 0
+	}
+	if slot, ok := s.index[id]; ok {
+		s.hits++
+		sl := &s.slots[slot]
+		if sl.size != size {
+			// A page's size can legitimately change across epochs (a node
+			// rewritten by a flush); keep the charge honest.
+			s.byteUsed += size - sl.size
+			sl.size = size
+		}
+		if s.head != slot {
+			s.unlink(slot)
+			s.pushFront(slot)
+		}
+		s.evictOverBytes(slot)
+		return true
+	}
+	s.misses++
+	var slot int32
+	if n := len(s.freeSlots); n > 0 {
+		slot = s.freeSlots[n-1]
+		s.freeSlots = s.freeSlots[:n-1]
+		s.slots[slot] = poolSlot{id: id, size: size}
+	} else {
+		slot = int32(len(s.slots))
+		s.slots = append(s.slots, poolSlot{id: id, size: size})
+	}
+	s.pushFront(slot)
+	s.index[id] = slot
+	s.byteUsed += size
+	s.evictOverBytes(slot)
+	return false
+}
+
+// evictOverBytes drops least-recently-used pages until the shard is within
+// its byte budget, never evicting the page just touched.
+func (s *poolShard) evictOverBytes(keep int32) {
+	for s.byteUsed > s.byteCap && s.tail >= 0 && s.tail != keep {
+		victim := s.tail
+		s.unlink(victim)
+		s.byteUsed -= s.slots[victim].size
+		delete(s.index, s.slots[victim].id)
+		s.slots[victim] = poolSlot{}
+		s.freeSlots = append(s.freeSlots, victim)
+	}
 }
 
 func (s *poolShard) touch(id PageID) bool {
@@ -212,6 +325,19 @@ func (b *BufferPool) Len() int {
 	return n
 }
 
+// BytesResident returns the total byte charge currently held by a
+// byte-budget pool (always 0 for page-count pools, which do not track sizes).
+func (b *BufferPool) BytesResident() int64 {
+	var n int64
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		n += s.byteUsed
+		s.mu.Unlock()
+	}
+	return n
+}
+
 // Stats returns the cumulative hit and miss counts.
 func (b *BufferPool) Stats() (hits, misses int64) {
 	for i := range b.shards {
@@ -231,6 +357,8 @@ func (b *BufferPool) Reset() {
 		s.mu.Lock()
 		s.index = make(map[PageID]int32)
 		s.slots = s.slots[:0]
+		s.freeSlots = s.freeSlots[:0]
+		s.byteUsed = 0
 		s.head, s.tail = -1, -1
 		s.hits, s.misses = 0, 0
 		s.mu.Unlock()

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package storage
+
+import "os"
+
+// The non-unix fallback never maps anything: OpenMmapStore fails with
+// ErrMmapUnsupported and callers degrade to the pread-based FilePager.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, ErrMmapUnsupported
+}
+
+func munmapFile(data []byte) error { return nil }

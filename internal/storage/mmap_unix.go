@@ -1,0 +1,25 @@
+//go:build unix
+
+package storage
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared, so the kernel's page
+// cache backs the mapping directly.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, fmt.Errorf("storage: cannot map %d-byte file on this platform", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -25,11 +25,35 @@ import (
 // file the process cannot write — reject mutations.
 
 // ErrReadOnly is returned by mutating operations (Insert, Delete, BulkLoad,
-// Flush) on a read-only tree: one opened with OpenReadOnly, or opened with
-// Open from a file the process lacks write permission to. Every public
-// mutating method wraps it so that errors.Is(err, cbb.ErrReadOnly) holds
-// without reaching into internal packages.
+// Flush) on a read-only tree: one opened with OpenReadOnly or OpenMmap, a
+// compressed (v2) snapshot, or a file the process lacks write permission to.
+// Every public mutating method wraps it so that errors.Is(err, cbb.ErrReadOnly)
+// holds without reaching into internal packages.
 var ErrReadOnly = rtree.ErrReadOnly
+
+// ErrMmapUnsupported is returned by OpenMmap and OpenShardedMmap on
+// platforms without memory-mapped file support; callers fall back to
+// OpenReadOnly / OpenSharded.
+var ErrMmapUnsupported = storage.ErrMmapUnsupported
+
+// SnapshotFormat selects the on-disk layout of a snapshot written with
+// WriteSnapshot or TranscodeSnapshot.
+type SnapshotFormat int
+
+// Snapshot formats.
+const (
+	// SnapshotV1 is the original layout: fixed-size node pages holding raw
+	// float64 rectangles. v1 snapshots reopen writable.
+	SnapshotV1 SnapshotFormat = snapshot.FormatV1
+	// SnapshotV2 is the compressed layout: directory rectangles quantised
+	// to 16-bit grid coordinates (conservatively, so query results are
+	// bit-identical), leaf rectangles delta-coded losslessly, and the clip
+	// table quantised against the universe. Typically 2–4× smaller on disk
+	// and in buffer-pool residency; v2 snapshots open read-only — use
+	// TranscodeSnapshot to convert back to v1 when a writable copy is
+	// needed.
+	SnapshotV2 SnapshotFormat = snapshot.FormatV2
+)
 
 // snapshotMeta maps the tree's effective options onto a snapshot header.
 func (t *Tree) snapshotMeta() snapshot.Meta {
@@ -113,6 +137,34 @@ func (t *Tree) SaveTo(w io.Writer) error {
 	return snapshot.SaveTo(w, t.tree, t.table(), t.snapshotMeta())
 }
 
+// SaveToFormat is SaveTo with an explicit snapshot format; SaveTo is
+// equivalent to SaveToFormat(w, SnapshotV1).
+func (t *Tree) SaveToFormat(w io.Writer, format SnapshotFormat) error {
+	meta := t.snapshotMeta()
+	meta.Format = int(format)
+	return snapshot.SaveTo(w, t.tree, t.table(), meta)
+}
+
+// WriteSnapshot writes the tree as a snapshot file at path in the given
+// format, atomically (temp file + rename). Unlike Flush it does not bind the
+// tree to the file: it is the "export" operation, typically used to ship a
+// compressed (SnapshotV2) copy of a tree for read-only serving via Open,
+// OpenReadOnly, or OpenMmap.
+func (t *Tree) WriteSnapshot(path string, format SnapshotFormat) error {
+	meta := t.snapshotMeta()
+	meta.Format = int(format)
+	return snapshot.WriteFile(path, t.tree, t.table(), meta)
+}
+
+// TranscodeSnapshot rewrites the snapshot file at src into dst in the given
+// format, streaming one node page at a time — the tree is never loaded, so a
+// beyond-RAM snapshot converts on a small machine. src is opened strictly
+// read-only and dst is written atomically, so src == dst compacts in place.
+// v1→v2 compresses; v2→v1 produces a writable snapshot again.
+func TranscodeSnapshot(src, dst string, format SnapshotFormat) error {
+	return snapshot.Transcode(src, dst, int(format))
+}
+
 // Load reads a snapshot previously written with SaveTo and returns a fully
 // in-memory tree. The clip table is restored as saved, not recomputed, so
 // queries against the loaded tree produce bit-identical results and I/O
@@ -170,6 +222,12 @@ func openFile(path string, readonly bool) (*Tree, error) {
 	if fp.ReadOnlyFile() {
 		readonly = true
 	}
+	if snap.Meta.Format >= snapshot.FormatV2 {
+		// Compressed snapshots are read-only by construction: their pages
+		// are sized to the encoded node, so a mutated node might not fit
+		// back into its slot. Open degrades to read-only instead of failing.
+		readonly = true
+	}
 	if !readonly {
 		// All mutations of the page file flow through the journal, so a
 		// Flush commits them atomically via the write-ahead log.
@@ -189,6 +247,42 @@ func openFile(path string, readonly bool) (*Tree, error) {
 		return nil, err
 	}
 	t.pager = fp
+	return t, nil
+}
+
+// OpenMmap opens a snapshot file read-only with node pages served straight
+// out of a memory mapping: queries decode nodes in place from the mapped
+// file, with no read syscalls and no payload copies, and cold pages are
+// faulted in by the kernel on first touch. This is the zero-copy path for
+// serving a beyond-RAM snapshot — especially a compressed (SnapshotV2) one —
+// with the OS page cache as the only buffer.
+//
+// Semantics match OpenReadOnly: mutations return ErrReadOnly, a committed
+// write-ahead log next to the file is served from an in-memory overlay and
+// left on disk. On platforms without mmap support it fails with
+// ErrMmapUnsupported; fall back to OpenReadOnly.
+func OpenMmap(path string) (*Tree, error) {
+	ms, err := storage.OpenMmapStore(path)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Tree, error) {
+		ms.Close()
+		return nil, err
+	}
+	snap, err := snapshot.Read(ms)
+	if err != nil {
+		return fail(err)
+	}
+	base, err := snap.OpenTree(ms, true)
+	if err != nil {
+		return fail(err)
+	}
+	t, err := restore(snap, base)
+	if err != nil {
+		return fail(err)
+	}
+	t.mstore = ms
 	return t, nil
 }
 
@@ -246,6 +340,9 @@ func (t *Tree) Flush() error {
 }
 
 func (t *Tree) flushLocked() error {
+	if t.mstore != nil {
+		return fmt.Errorf("cbb: flush: %w", ErrReadOnly)
+	}
 	if t.pager == nil {
 		return errors.New("cbb: tree has no snapshot file; use Create or Open, or SaveTo an io.Writer")
 	}
@@ -275,6 +372,11 @@ func (t *Tree) Close() error {
 	}
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
+	if t.mstore != nil {
+		ms := t.mstore
+		t.mstore = nil
+		return ms.Close()
+	}
 	if t.pager == nil {
 		return nil
 	}
@@ -320,9 +422,14 @@ func (t *Tree) Materialize() error { return t.tree.Materialize() }
 // trees without a file backing. Unlike IOStats — which counts every logical
 // node access — FileStats moves only when a page is faulted in from disk.
 func (t *Tree) FileStats() (reads, writes int64, ok bool) {
-	if t.pager == nil {
+	switch {
+	case t.pager != nil:
+		reads, writes = t.pager.DiskStats()
+		return reads, writes, true
+	case t.mstore != nil:
+		reads, writes = t.mstore.DiskStats()
+		return reads, writes, true
+	default:
 		return 0, 0, false
 	}
-	reads, writes = t.pager.DiskStats()
-	return reads, writes, true
 }

@@ -785,6 +785,14 @@ func FuzzDecodeSnapshot(f *testing.F) {
 		}
 		f.Add(buf.Bytes())
 		f.Add(buf.Bytes()[:64])
+		// The compressed v2 layout exercises a separate decode path
+		// (quantised directories, delta-coded leaves, v2 clip table).
+		var v2 bytes.Buffer
+		if err := tree.SaveToFormat(&v2, SnapshotV2); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(v2.Bytes())
+		f.Add(v2.Bytes()[:64])
 	}
 	f.Add([]byte("CBBPGF1\x00garbage"))
 	f.Add([]byte{})

@@ -93,6 +93,19 @@ func CreateSharded(dir string, opts ShardedOptions) (*ShardedTree, error) {
 // per-shard commits are recovered by each shard's own WAL replay; an
 // interrupted rebalance resumes at whichever layout shards.json references.
 func OpenSharded(dir string) (*ShardedTree, error) {
+	return openSharded(dir, Open)
+}
+
+// OpenShardedMmap opens a sharded engine with every shard served through a
+// read-only memory mapping (see OpenMmap): queries decode node pages in
+// place from the mapped shard files and mutations return ErrReadOnly. It
+// fails with ErrMmapUnsupported on platforms without mmap support; fall back
+// to OpenSharded.
+func OpenShardedMmap(dir string) (*ShardedTree, error) {
+	return openSharded(dir, OpenMmap)
+}
+
+func openSharded(dir string, open func(path string) (*Tree, error)) (*ShardedTree, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, shardDirFileName))
 	if err != nil {
 		return nil, err
@@ -128,7 +141,7 @@ func OpenSharded(dir string) (*ShardedTree, error) {
 	}
 	for i, e := range df.Shards {
 		path := filepath.Join(dir, e.File)
-		t, err := Open(path)
+		t, err := open(path)
 		if err != nil {
 			return fail(fmt.Errorf("cbb: opening shard %s: %w", e.File, err))
 		}
