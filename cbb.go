@@ -568,16 +568,21 @@ type Stats struct {
 	ClipPoints     int
 	AvgClipPoints  float64
 	ClipTableBytes int
+	// PlaneBytes is the total resident size of the in-memory quantised SoA
+	// filter planes the scan kernels prune with (charged to buffer pools on
+	// top of each node's encoded page size).
+	PlaneBytes int
 }
 
 // Stats returns structural statistics of the tree and its clip table.
 func (t *Tree) Stats() Stats {
 	ts := t.tree.Stats()
 	out := Stats{
-		Objects:   ts.Objects,
-		Height:    ts.Height,
-		LeafNodes: ts.LeafNodes,
-		DirNodes:  ts.DirNodes,
+		Objects:    ts.Objects,
+		Height:     ts.Height,
+		LeafNodes:  ts.LeafNodes,
+		DirNodes:   ts.DirNodes,
+		PlaneBytes: ts.PlaneBytes,
 	}
 	if t.idx != nil {
 		out.ClipPoints = t.idx.Table().ClipPointCount()

@@ -1,0 +1,174 @@
+// Command benchdelta compares `go test -bench` output against the recorded
+// baseline in BENCH_baseline.json and prints a benchcmp-style delta table.
+//
+// It reads benchmark output on stdin (pipe `go test -bench ... | benchdelta`)
+// and exits non-zero when the input contains a test failure, when no
+// benchmark line parses, or when none of the parsed benchmarks appear in the
+// baseline — so a CI smoke run at -benchtime=1x fails on build/assert errors
+// and on benchmark rot (renamed or deleted benchmarks), while the printed
+// deltas stay informational: single-iteration timings are noise, and the
+// baseline was recorded on a different class of machine anyway.
+//
+//	go test -run='^$' -bench 'BenchmarkSearchHot|BenchmarkKNN' -benchmem -benchtime=1x . | benchdelta
+//	go test -bench . -benchtime=1x ./internal/server | benchdelta -baseline BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark output line.
+type benchResult struct {
+	Name        string // with the -GOMAXPROCS suffix stripped
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+	HasMem      bool
+}
+
+// baselineFile mirrors the subset of BENCH_baseline.json this tool needs.
+type baselineFile struct {
+	Schema     int    `json:"schema"`
+	Recorded   string `json:"recorded"`
+	CPU        string `json:"cpu"`
+	Benchmarks []struct {
+		Name        string  `json:"name"`
+		Package     string  `json:"package"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		BytesPerOp  float64 `json:"bytes_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	} `json:"benchmarks"`
+}
+
+// stripProcSuffix removes the trailing -N GOMAXPROCS suffix go test appends
+// to benchmark names ("BenchmarkKNN-4" -> "BenchmarkKNN"). A trailing
+// -<digits> that is part of a subbenchmark name is indistinguishable, but no
+// benchmark in this repository names subtests that way.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// parseBenchLine parses one `go test -bench` output line, returning ok=false
+// for non-benchmark lines (headers, PASS/ok trailers, log output).
+func parseBenchLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchResult{}, false
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return benchResult{}, false // second field must be the iteration count
+	}
+	r := benchResult{Name: stripProcSuffix(fields[0])}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			r.BytesPerOp = v
+			r.HasMem = true
+		case "allocs/op":
+			r.AllocsPerOp = v
+			r.HasMem = true
+		}
+	}
+	if !seenNs {
+		return benchResult{}, false
+	}
+	return r, true
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON file to compare against")
+	flag.Parse()
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdelta: %v\n", err)
+		os.Exit(1)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdelta: parsing %s: %v\n", *baselinePath, err)
+		os.Exit(1)
+	}
+	baseByName := make(map[string]int, len(base.Benchmarks))
+	for i, b := range base.Benchmarks {
+		baseByName[b.Name] = i
+	}
+
+	var results []benchResult
+	failed := false
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		// go test marks failures with "--- FAIL" (per test) and a bare
+		// "FAIL" trailer per package; either means the run is unusable.
+		if strings.HasPrefix(line, "FAIL") || strings.HasPrefix(strings.TrimSpace(line), "--- FAIL") {
+			failed = true
+		}
+		if r, ok := parseBenchLine(line); ok {
+			results = append(results, r)
+		}
+		fmt.Println(line) // pass the raw output through for the CI log
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdelta: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchdelta: input contains a test failure")
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdelta: no benchmark lines in input (wrong -bench pattern, or the benchmarks rotted away)")
+		os.Exit(1)
+	}
+
+	matched := 0
+	fmt.Printf("\ndelta vs %s (recorded %s, %s):\n", *baselinePath, base.Recorded, base.CPU)
+	fmt.Printf("%-52s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, r := range results {
+		i, ok := baseByName[r.Name]
+		if !ok {
+			fmt.Printf("%-52s %14s %14.0f %8s\n", r.Name, "(new)", r.NsPerOp, "-")
+			continue
+		}
+		matched++
+		b := base.Benchmarks[i]
+		delta := "-"
+		if b.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(r.NsPerOp-b.NsPerOp)/b.NsPerOp)
+		}
+		fmt.Printf("%-52s %14.0f %14.0f %8s\n", r.Name, b.NsPerOp, r.NsPerOp, delta)
+		if r.HasMem && (r.BytesPerOp != b.BytesPerOp || r.AllocsPerOp != b.AllocsPerOp) {
+			fmt.Printf("%-52s %14s %s\n", "", "",
+				fmt.Sprintf("mem: %.0f B/op %.0f allocs/op (baseline %.0f B/op %.0f allocs/op)",
+					r.BytesPerOp, r.AllocsPerOp, b.BytesPerOp, b.AllocsPerOp))
+		}
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchdelta: none of the parsed benchmarks appear in the baseline")
+		os.Exit(1)
+	}
+	fmt.Printf("%d/%d benchmarks matched the baseline\n", matched, len(results))
+}

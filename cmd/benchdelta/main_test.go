@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line string
+		ok   bool
+		name string
+		ns   float64
+		mem  bool
+	}{
+		{"BenchmarkKNN-4   \t113056\t     19648 ns/op\t    1473 B/op\t       2 allocs/op", true, "BenchmarkKNN", 19648, true},
+		{"BenchmarkSearchHot/dims=2/clip=none-8 \t  225891\t      9832 ns/op\t       0 B/op\t       0 allocs/op", true, "BenchmarkSearchHot/dims=2/clip=none", 9832, true},
+		{"BenchmarkSnapshotAcquire \t16904930\t        71.14 ns/op", true, "BenchmarkSnapshotAcquire", 71.14, false},
+		{"goos: linux", false, "", 0, false},
+		{"PASS", false, "", 0, false},
+		{"ok  \tcbb\t14.415s", false, "", 0, false},
+		{"BenchmarkBroken\tnot-a-count\t12 ns/op", false, "", 0, false},
+		{"--- FAIL: TestSomething (0.00s)", false, "", 0, false},
+	}
+	for _, c := range cases {
+		r, ok := parseBenchLine(c.line)
+		if ok != c.ok {
+			t.Errorf("parseBenchLine(%q) ok = %v, want %v", c.line, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if r.Name != c.name || r.NsPerOp != c.ns || r.HasMem != c.mem {
+			t.Errorf("parseBenchLine(%q) = %+v, want name %q ns %v mem %v", c.line, r, c.name, c.ns, c.mem)
+		}
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkKNN-4":                         "BenchmarkKNN",
+		"BenchmarkKNN":                           "BenchmarkKNN",
+		"BenchmarkSearchHot/dims=2/clip=none-16": "BenchmarkSearchHot/dims=2/clip=none",
+		"BenchmarkX/sub-case":                    "BenchmarkX/sub-case",
+	}
+	for in, want := range cases {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

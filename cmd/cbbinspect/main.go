@@ -232,6 +232,12 @@ func reportCompression(path string, snap *snapshot.Snapshot, fp *storage.FilePag
 	if snap.Meta.Objects > 0 {
 		fmt.Printf("file size  : %d B (%.1f B/object)\n", fi.Size(), float64(fi.Size())/float64(snap.Meta.Objects))
 	}
+	// In-memory filter layer per level: every faulted node carries packed
+	// PlaneBits-wide SoA planes alongside its exact rects (see
+	// internal/rtree/quant.go), so the resident footprint per level is the
+	// encoded page bytes plus these plane bytes.
+	planeBytes := map[int]int{}
+	tree.Walk(func(info rtree.NodeInfo) { planeBytes[info.Level] += info.PlaneBytes })
 	for level := maxLevel; level >= 0; level-- {
 		l := levels[level]
 		if l == nil {
@@ -247,6 +253,7 @@ func reportCompression(path string, snap *snapshot.Snapshot, fp *storage.FilePag
 				line += fmt.Sprintf(", %d-bit quantised", rtree.DirQuantBits)
 			}
 		}
+		line += fmt.Sprintf(", %d-bit planes %d B in-mem", rtree.PlaneBits, planeBytes[level])
 		fmt.Println(line)
 	}
 	if codec == rtree.CodecV2 {

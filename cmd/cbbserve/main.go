@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux; served only behind -pprof
 	"os"
 	"os/signal"
 	"strings"
@@ -49,8 +51,28 @@ func main() {
 		coalesceMax  = flag.Int("coalesce-max", 0, "max point searches per coalesced batch (0 = default 64)")
 		workers      = flag.Int("workers", 1, "worker goroutines per batch search (0 = GOMAXPROCS)")
 		drain        = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()
+
+	// Profiling is opt-in and served on its own listener so the data API's
+	// in-flight limiting and shedding never apply to (or get skewed by)
+	// profile scrapes, and the debug surface is never exposed on the public
+	// address by accident.
+	if *pprofAddr != "" {
+		pl, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(fmt.Errorf("pprof listener: %w", err))
+		}
+		log.Printf("cbbserve: pprof on http://%s/debug/pprof/", pl.Addr())
+		go func() {
+			// http.DefaultServeMux carries the net/http/pprof handlers via
+			// the blank import.
+			if err := http.Serve(pl, nil); err != nil {
+				log.Printf("cbbserve: pprof server stopped: %v", err)
+			}
+		}()
+	}
 
 	eng, desc, err := buildEngine(engineConfig{
 		dataset: *dataset, n: *n, seed: *seed, data: *data, file: *file,

@@ -201,9 +201,22 @@ func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 // on references the layout cannot carry (a child id beyond uint32), which the
 // arena's plausibility bounds make unreachable for trees this package built.
 func encodeNodeV2(n *node, dims int) ([]byte, error) {
-	mbb := n.mbb()
-	if len(n.entries) == 0 {
+	// A directory node with an in-memory filter layer is encoded from it
+	// verbatim: the planes ARE qlower/qupper of the exact entry bounds
+	// against the node MBB (syncPlanes), so the output is identical to
+	// recomputing — and for a node faulted in from a v2 page (whose decoded
+	// rects are conservative supersets), reusing the adopted coordinates
+	// keeps a v2→v2 transcode byte-stable instead of re-quantising the
+	// already-expanded rects one grid cell wider.
+	usePlanes := !n.leaf && n.hasPlanes(dims)
+	var mbb geom.Rect
+	switch {
+	case usePlanes:
+		mbb = geom.Rect{Lo: n.qmbb[:dims], Hi: n.qmbb[dims:]}
+	case len(n.entries) == 0:
 		mbb = geom.Rect{Lo: make(geom.Point, dims), Hi: make(geom.Point, dims)}
+	default:
+		mbb = n.mbb()
 	}
 	buf := make([]byte, 0, nodeHeaderV2Bytes+16*dims+len(n.entries)*(dims*4+8))
 	flags := byte(0)
@@ -236,11 +249,20 @@ func encodeNodeV2(n *node, dims int) ([]byte, error) {
 			if e.Child < 0 || int64(e.Child) > math.MaxUint32 {
 				return nil, fmt.Errorf("rtree: node %d child id %d does not fit the v2 layout", n.id, e.Child)
 			}
-			for d := 0; d < dims; d++ {
-				buf = binary.LittleEndian.AppendUint16(buf, qlower(e.Rect.Lo[d], mbb.Lo[d], mbb.Hi[d]))
-			}
-			for d := 0; d < dims; d++ {
-				buf = binary.LittleEndian.AppendUint16(buf, qupper(e.Rect.Hi[d], mbb.Lo[d], mbb.Hi[d]))
+			if usePlanes {
+				for d := 0; d < dims; d++ {
+					buf = binary.LittleEndian.AppendUint16(buf, n.planeAt(dims, d, i, false))
+				}
+				for d := 0; d < dims; d++ {
+					buf = binary.LittleEndian.AppendUint16(buf, n.planeAt(dims, d, i, true))
+				}
+			} else {
+				for d := 0; d < dims; d++ {
+					buf = binary.LittleEndian.AppendUint16(buf, qlower(e.Rect.Lo[d], mbb.Lo[d], mbb.Hi[d]))
+				}
+				for d := 0; d < dims; d++ {
+					buf = binary.LittleEndian.AppendUint16(buf, qupper(e.Rect.Hi[d], mbb.Lo[d], mbb.Hi[d]))
+				}
 			}
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Child))
 		}
@@ -340,17 +362,30 @@ func decodeNodeV2(buf []byte, dims int) (*node, error) {
 			return nil, fmt.Errorf("rtree: v2 directory page truncated: have %d bytes, want %d", len(buf), want)
 		}
 		n.entries = make([]Entry, count)
+		// The page's grid coordinates become the node's SoA filter planes
+		// verbatim (and the exactly-stored MBB its quantisation base): the
+		// encoder computed them from the exact child MBBs, so they equal
+		// what an in-memory tree's syncPlanes produces — requantising the
+		// conservatively decoded rects instead would drift by up to one grid
+		// cell and make pruning (and I/O counts) diverge between stores.
+		pw := planeWords(count)
+		n.qplanes = make([]uint64, 2*dims*pw)
+		n.qmbb = make([]float64, 2*dims)
+		copy(n.qmbb[:dims], mbbLo)
+		copy(n.qmbb[dims:], mbbHi)
 		for i := 0; i < count; i++ {
 			lo := make(geom.Point, dims)
 			hi := make(geom.Point, dims)
 			for d := 0; d < dims; d++ {
-				q := uint32(binary.LittleEndian.Uint16(buf[off:]))
-				lo[d] = qdecode(mbbLo[d], mbbHi[d], q)
+				g := binary.LittleEndian.Uint16(buf[off:])
+				setPlane(n.qplanes, pw, d, i, false, g)
+				lo[d] = qdecode(mbbLo[d], mbbHi[d], uint32(g))
 				off += 2
 			}
 			for d := 0; d < dims; d++ {
-				q := uint32(binary.LittleEndian.Uint16(buf[off:]))
-				hi[d] = qdecode(mbbLo[d], mbbHi[d], q)
+				g := binary.LittleEndian.Uint16(buf[off:])
+				setPlane(n.qplanes, pw, d, i, true, g)
+				hi[d] = qdecode(mbbLo[d], mbbHi[d], uint32(g))
 				off += 2
 			}
 			child := binary.LittleEndian.Uint32(buf[off:])
@@ -419,7 +454,15 @@ func decodeNodeV2(buf []byte, dims int) (*node, error) {
 			n.entries[i] = Entry{Rect: geom.Rect{Lo: lo, Hi: hi}, Child: InvalidNode, Object: ObjectID(prevObj)}
 		}
 	}
-	n.syncBoxes(dims)
+	if n.leaf {
+		// Leaf coordinates are lossless, so requantising reproduces exactly
+		// the planes an in-memory tree computes for the same entries.
+		n.syncBoxes(dims)
+	} else {
+		// Directory planes were adopted from the page above; only the float
+		// mirror needs rebuilding from the decoded rects.
+		n.syncMirror(dims)
+	}
 	n.encSize = int32(off)
 	return n, nil
 }

@@ -108,6 +108,18 @@ type node struct {
 	// Every mutation of entries refreshes it through Tree.touch (and the
 	// decode path builds it directly); Tree.Validate checks the mirror.
 	boxes []float64
+	// qmbb and qplanes are the quantised SoA filter layer (see quant.go):
+	// qmbb holds the node MBB the planes are quantised against (dims Lo
+	// extents then dims Hi extents, like one boxes record), and qplanes holds
+	// the 16-bit grid coordinates of the entry bounds in dimension-major SoA
+	// order (lo plane then hi plane per dimension), packed four lanes per
+	// uint64 word. The scan kernels test entries against these planes first
+	// and touch boxes only for survivors. Maintained by syncBoxes wherever
+	// boxes is; the v2 fault-in path installs the page's stored grid
+	// coordinates instead (bit-identical pruning across stores — see
+	// decodeNodeV2).
+	qmbb    []float64
+	qplanes []uint64
 	// hilbertLHV is the largest Hilbert value of the subtree, maintained
 	// only by the Hilbert variant.
 	hilbertLHV uint64
@@ -119,8 +131,19 @@ type node struct {
 	encSize int32
 }
 
-// syncBoxes rebuilds the flat coordinate mirror from the entry rectangles.
+// syncBoxes rebuilds the flat coordinate mirror — and the quantised SoA
+// planes derived from it — from the entry rectangles.
 func (n *node) syncBoxes(dims int) {
+	n.syncMirror(dims)
+	n.syncPlanes(dims)
+	n.encSize = int32(nodeHeaderBytes + len(n.entries)*EntryBytes(dims))
+}
+
+// syncMirror rebuilds only the flat float64 mirror from the entry
+// rectangles. decodeNodeV2's directory branch uses it directly because it
+// installs the page's stored grid coordinates as the planes rather than
+// requantising (see quant.go).
+func (n *node) syncMirror(dims int) {
 	need := len(n.entries) * 2 * dims
 	if cap(n.boxes) < need {
 		n.boxes = make([]float64, need)
@@ -134,7 +157,6 @@ func (n *node) syncBoxes(dims int) {
 		copy(n.boxes[off+dims:off+2*dims], r.Hi)
 		off += 2 * dims
 	}
-	n.encSize = int32(nodeHeaderBytes + len(n.entries)*EntryBytes(dims))
 }
 
 // mbbIntersects reports whether q intersects the MBB of the node's entries,
@@ -696,6 +718,8 @@ func (t *Tree) cloneForWrite(n *node) *node {
 	}
 	c.entries = append(make([]Entry, 0, cap(n.entries)), n.entries...)
 	c.boxes = append(make([]float64, 0, cap(n.boxes)), n.boxes...)
+	c.qmbb = append(make([]float64, 0, cap(n.qmbb)), n.qmbb...)
+	c.qplanes = append(make([]uint64, 0, cap(n.qplanes)), n.qplanes...)
 	return c
 }
 
@@ -747,9 +771,12 @@ func (t *Tree) ChargeReadSized(id NodeID, leaf bool, bytes int, c *storage.Count
 }
 
 // chargeReadNode is the hot-path form of ChargeRead: the caller already holds
-// the node, so the byte charge is exact and free to compute.
+// the node, so the byte charge is exact and free to compute. The charge is
+// the node's encoded page size plus the resident quantised filter layer
+// (planes + quantisation MBB), so byte-budget pools account for everything a
+// resident node actually occupies.
 func (t *Tree) chargeReadNode(n *node, leaf bool, c *storage.Counter) {
-	t.ChargeReadSized(n.id, leaf, int(n.encSize), c)
+	t.ChargeReadSized(n.id, leaf, int(n.encSize)+n.planeBytes(), c)
 }
 
 // RootID returns the id of the root node, or InvalidNode for an empty tree.
@@ -1042,6 +1069,9 @@ type NodeInfo struct {
 	Children []Entry
 	// Bytes is the node's encoded page size (see node.encSize).
 	Bytes int
+	// PlaneBytes is the resident size of the node's quantised SoA filter
+	// layer (see quant.go); it rides on top of Bytes in pool accounting.
+	PlaneBytes int
 }
 
 // Node returns a snapshot of the node with the given id. The returned
@@ -1059,7 +1089,7 @@ func (t *Tree) Node(id NodeID) (NodeInfo, error) {
 	}
 	return NodeInfo{
 		ID: n.id, Parent: n.parent, Leaf: n.leaf, Level: n.level,
-		MBB: n.mbb(), Children: n.entries, Bytes: int(n.encSize),
+		MBB: n.mbb(), Children: n.entries, Bytes: int(n.encSize), PlaneBytes: n.planeBytes(),
 	}, nil
 }
 
@@ -1078,7 +1108,7 @@ func (t *Tree) Walk(fn func(NodeInfo)) {
 		if n == nil {
 			continue
 		}
-		fn(NodeInfo{ID: n.id, Parent: n.parent, Leaf: n.leaf, Level: n.level, MBB: n.mbb(), Children: n.entries, Bytes: int(n.encSize)})
+		fn(NodeInfo{ID: n.id, Parent: n.parent, Leaf: n.leaf, Level: n.level, MBB: n.mbb(), Children: n.entries, Bytes: int(n.encSize), PlaneBytes: n.planeBytes()})
 		if !n.leaf {
 			for i := range n.entries {
 				stack = append(stack, n.entries[i].Child)

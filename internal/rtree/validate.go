@@ -2,6 +2,7 @@ package rtree
 
 import (
 	"fmt"
+	"math"
 
 	"cbb/internal/geom"
 )
@@ -48,6 +49,9 @@ func (t *Tree) Validate() error {
 			return fmt.Errorf("rtree: node %d has %d entries (max %d)", id, len(n.entries), t.cfg.MaxEntries)
 		}
 		if err := t.checkBoxes(n); err != nil {
+			return err
+		}
+		if err := t.checkPlanes(n); err != nil {
 			return err
 		}
 		if id != t.root && len(n.entries) < t.cfg.MinEntries {
@@ -119,6 +123,64 @@ func (t *Tree) checkBoxes(n *node) error {
 	return nil
 }
 
+// checkPlanes verifies the node's quantised SoA filter layer against the
+// exact mirror: the planes must be conservative (each grid bound decodes to
+// at most the exact lower / at least the exact upper bound — the property
+// the scan kernels rely on to never miss a hit), and, wherever the planes
+// were computed from exact rects (every node except directories adopted
+// verbatim from a compressed v2 page), they must be exactly the
+// qlower/qupper quantisation of the mirror against a qmbb that is the
+// mirror's true MBB.
+func (t *Tree) checkPlanes(n *node) error {
+	dims := t.cfg.Dims
+	count := len(n.entries)
+	if !n.hasPlanes(dims) {
+		return fmt.Errorf("rtree: node %d has %d plane words and %d MBB extents for %d entries (want %d and %d)",
+			n.id, len(n.qplanes), len(n.qmbb), count, 2*dims*planeWords(count), 2*dims)
+	}
+	if count == 0 {
+		return nil
+	}
+	// Directory nodes of a v2-loaded tree carry the page's stored grid
+	// coordinates and MBB; their decoded-rect mirror sits outward of both, so
+	// only the conservativeness half applies to them.
+	adopted := t.conservative && !n.leaf
+	for d := 0; d < dims; d++ {
+		lo, hi := n.qmbb[d], n.qmbb[dims+d]
+		if !adopted {
+			minLo := math.Inf(1)
+			maxHi := math.Inf(-1)
+			for off := 0; off < len(n.boxes); off += 2 * dims {
+				if v := n.boxes[off+d]; v < minLo {
+					minLo = v
+				}
+				if v := n.boxes[off+dims+d]; v > maxHi {
+					maxHi = v
+				}
+			}
+			if lo != minLo || hi != maxHi {
+				return fmt.Errorf("rtree: node %d plane MBB [%v, %v] in dim %d does not match mirror MBB [%v, %v]",
+					n.id, lo, hi, d, minLo, maxHi)
+			}
+		}
+		off := 0
+		for i := 0; i < count; i++ {
+			elo, ehi := n.boxes[off+d], n.boxes[off+dims+d]
+			plo, phi := n.planeAt(dims, d, i, false), n.planeAt(dims, d, i, true)
+			if qdecode(lo, hi, uint32(plo)) > elo || qdecode(lo, hi, uint32(phi)) < ehi {
+				return fmt.Errorf("rtree: node %d entry %d plane [%d, %d] in dim %d is not conservative for [%v, %v]",
+					n.id, i, plo, phi, d, elo, ehi)
+			}
+			if !adopted && (plo != qlower(elo, lo, hi) || phi != qupper(ehi, lo, hi)) {
+				return fmt.Errorf("rtree: node %d entry %d plane [%d, %d] in dim %d is not the tight quantisation of [%v, %v] (want [%d, %d])",
+					n.id, i, plo, phi, d, elo, ehi, qlower(elo, lo, hi), qupper(ehi, lo, hi))
+			}
+			off += 2 * dims
+		}
+	}
+	return nil
+}
+
 // Stats summarises structural statistics used by the evaluation figures.
 type Stats struct {
 	Objects    int
@@ -128,6 +190,9 @@ type Stats struct {
 	AvgLeafOcc float64 // average leaf occupancy as a fraction of MaxEntries
 	AvgDirOcc  float64 // average directory occupancy as a fraction of MaxEntries
 	Bounds     geom.Rect
+	// PlaneBytes is the total resident size of the quantised SoA filter
+	// layer across all nodes (see quant.go).
+	PlaneBytes int
 }
 
 // Stats computes the tree's structural statistics without charging I/O.
@@ -135,6 +200,7 @@ func (t *Tree) Stats() Stats {
 	s := Stats{Objects: t.size, Height: t.height, Bounds: t.Bounds()}
 	var leafEntries, dirEntries int
 	t.Walk(func(info NodeInfo) {
+		s.PlaneBytes += info.PlaneBytes
 		if info.Leaf {
 			s.LeafNodes++
 			leafEntries += len(info.Children)

@@ -2,6 +2,7 @@ package rtree
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -139,7 +140,7 @@ func (v *Version) Node(id NodeID) (NodeInfo, error) {
 	}
 	return NodeInfo{
 		ID: n.id, Parent: InvalidNode, Leaf: n.leaf, Level: n.level,
-		MBB: n.mbb(), Children: n.entries, Bytes: int(n.encSize),
+		MBB: n.mbb(), Children: n.entries, Bytes: int(n.encSize), PlaneBytes: n.planeBytes(),
 	}, nil
 }
 
@@ -165,12 +166,34 @@ func (v *Version) SearchAdmittedCounted(q geom.Rect, adm Admitter, c *storage.Co
 }
 
 // searchScratch is the pooled per-search working state: the explicit DFS
-// stack and the query extents copied into fixed flat arrays so the hot loop
-// compares contiguous memory against contiguous memory.
+// stack, the query extents copied into fixed flat arrays so the hot loop
+// compares contiguous memory against contiguous memory, and the grid-domain
+// query window plus survivor bitmask of the quantised scan kernel.
 type searchScratch struct {
 	stack []NodeID
 	qlo   [geom.MaxDims]float64
 	qhi   [geom.MaxDims]float64
+	qg    [2 * geom.MaxDims]uint16
+	// maskBuf serves nodes of up to 256 entries (every page-derived fanout)
+	// without a separate allocation, so a freshly constructed scratch costs
+	// exactly as many mallocs as before the filter layer existed; mask is the
+	// spill buffer for configurations with a larger fanout.
+	maskBuf [4]uint64
+	mask    []uint64
+}
+
+// maskFor returns the scratch's survivor-bitmask buffer sized for count
+// entries: the inline buffer when it fits, otherwise the growable backing
+// slice (amortised to zero by the pool in steady state).
+func (sc *searchScratch) maskFor(count int) []uint64 {
+	words := (count + 63) >> 6
+	if words <= len(sc.maskBuf) {
+		return sc.maskBuf[:words]
+	}
+	if cap(sc.mask) < words {
+		sc.mask = make([]uint64, words)
+	}
+	return sc.mask[:words]
 }
 
 var searchScratchPool = sync.Pool{
@@ -179,10 +202,18 @@ var searchScratchPool = sync.Pool{
 
 // searchIter is the query hot path shared by Search, SearchFiltered,
 // SearchAdmitted, and the batch executor: an iterative depth-first descent
-// over an explicit pooled stack, against one immutable version. Children are
-// pushed in reverse entry order, so nodes are processed — and I/O is charged
-// — in exactly the order the previous recursive implementation used;
-// results, visit order, and leaf/directory access counts are bit-identical.
+// over an explicit pooled stack, against one immutable version. Per node the
+// quantised SoA planes are scanned first (quantScan, branch-free, ANDing a
+// survivor bitmask across dimensions); only survivors touch the exact
+// float64 mirror — leaf survivors get one exact verification before visit,
+// directory survivors are recursed into directly off the conservative grid
+// verdict (admissible by the same containment argument as the v2 on-disk
+// format; see quant.go). Survivors are walked in ascending entry order
+// (trailing-zero iteration over the mask words) and admitted children are
+// reversed on the stack, so nodes are processed — and I/O is charged — in
+// exactly the order the recursive implementation used. Every store faults
+// nodes in with identical planes (quant.go), so results, visit order, and
+// leaf/directory access counts are bit-identical across mem/file/v2/mmap.
 // In steady state it performs no heap allocations, takes no locks, and
 // touches no shared mutable state beyond the atomic I/O counters: the one
 // version load its caller performed pins the entire traversal.
@@ -208,27 +239,45 @@ func (v *Version) searchIter(q geom.Rect, filter func(NodeID, geom.Rect) bool, a
 		if n == nil {
 			continue // unreadable page on a file-backed tree; recorded in Err
 		}
-		boxes := n.boxes
+		if !n.hasPlanes(dims) {
+			// Defensive exact path for nodes without a filter layer (freed-slot
+			// placeholders; unreachable from a live root in practice).
+			if !v.scanExact(n, q, filter, adm, c, visit, sc, &stack) {
+				searchScratchPool.Put(sc)
+				return
+			}
+			continue
+		}
+		count := len(n.entries)
+		quantiseQuery(n.qmbb, dims, &sc.qlo, &sc.qhi, &sc.qg)
+		mask := sc.maskFor(count)
+		quantScan(n.qplanes, count, dims, &sc.qg, mask)
 		if n.leaf {
 			t.chargeReadNode(n, true, c)
-			off := 0
-			for i := range n.entries {
-				if boxHits(boxes, off, dims, &sc.qlo, &sc.qhi) {
-					if !visit(n.entries[i].Object, n.entries[i].Rect) {
-						sc.stack = stack[:0]
-						searchScratchPool.Put(sc)
-						return
+			boxes := n.boxes
+			for w := range mask {
+				m := mask[w]
+				for m != 0 {
+					i := w<<6 + bits.TrailingZeros64(m)
+					m &= m - 1
+					if boxHits(boxes, i*2*dims, dims, &sc.qlo, &sc.qhi) {
+						if !visit(n.entries[i].Object, n.entries[i].Rect) {
+							sc.stack = stack[:0]
+							searchScratchPool.Put(sc)
+							return
+						}
 					}
 				}
-				off += 2 * dims
 			}
 			continue
 		}
 		t.chargeReadNode(n, false, c)
 		base := len(stack)
-		off := 0
-		for i := range n.entries {
-			if boxHits(boxes, off, dims, &sc.qlo, &sc.qhi) {
+		for w := range mask {
+			m := mask[w]
+			for m != 0 {
+				i := w<<6 + bits.TrailingZeros64(m)
+				m &= m - 1
 				e := &n.entries[i]
 				switch {
 				case filter != nil && !filter(e.Child, e.Rect):
@@ -237,7 +286,6 @@ func (v *Version) searchIter(q geom.Rect, filter func(NodeID, geom.Rect) bool, a
 					stack = append(stack, e.Child)
 				}
 			}
-			off += 2 * dims
 		}
 		// Reverse the admitted children so the first entry is popped first,
 		// preserving the recursive depth-first visit order.
@@ -247,6 +295,49 @@ func (v *Version) searchIter(q geom.Rect, filter func(NodeID, geom.Rect) bool, a
 	}
 	sc.stack = stack[:0]
 	searchScratchPool.Put(sc)
+}
+
+// scanExact is the pre-quantisation scan over one node's float64 mirror,
+// kept as the fallback for nodes without planes. Returns false when visit
+// aborted the search (the caller returns immediately; sc.stack has been
+// reset for the pool).
+func (v *Version) scanExact(n *node, q geom.Rect, filter func(NodeID, geom.Rect) bool, adm Admitter, c *storage.Counter, visit func(ObjectID, geom.Rect) bool, sc *searchScratch, stack *[]NodeID) bool {
+	t := v.tree
+	dims := t.cfg.Dims
+	boxes := n.boxes
+	if n.leaf {
+		t.chargeReadNode(n, true, c)
+		off := 0
+		for i := range n.entries {
+			if boxHits(boxes, off, dims, &sc.qlo, &sc.qhi) {
+				if !visit(n.entries[i].Object, n.entries[i].Rect) {
+					sc.stack = (*stack)[:0]
+					return false
+				}
+			}
+			off += 2 * dims
+		}
+		return true
+	}
+	t.chargeReadNode(n, false, c)
+	base := len(*stack)
+	off := 0
+	for i := range n.entries {
+		if boxHits(boxes, off, dims, &sc.qlo, &sc.qhi) {
+			e := &n.entries[i]
+			switch {
+			case filter != nil && !filter(e.Child, e.Rect):
+			case adm != nil && !adm.AdmitChild(e.Child, e.Rect, q):
+			default:
+				*stack = append(*stack, e.Child)
+			}
+		}
+		off += 2 * dims
+	}
+	for i, j := base, len(*stack)-1; i < j; i, j = i+1, j-1 {
+		(*stack)[i], (*stack)[j] = (*stack)[j], (*stack)[i]
+	}
+	return true
 }
 
 // boxHits reports whether the entry box starting at boxes[off] (dims Lo
